@@ -1,0 +1,121 @@
+//! Core-hour domination — paper Fig. 2.
+//!
+//! Which job groups (by size class and by length class) consume the
+//! machine's core-hours? The paper's Takeaway 4: dominating groups
+//! (> 50 % of core-hours) widely exist but *shift* across systems, so
+//! schedulers must identify them per system instead of assuming "large
+//! jobs dominate".
+
+use lumos_core::{LengthClass, SizeClass, Trace};
+use serde::Serialize;
+
+/// Fig. 2 data for one system.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Domination {
+    /// Share of total core-hours per size class (small, middle, large).
+    pub by_size: [f64; 3],
+    /// Share of total jobs per size class.
+    pub job_share_by_size: [f64; 3],
+    /// Share of total core-hours per length class (short, middle, long).
+    pub by_length: [f64; 3],
+    /// Share of total jobs per length class.
+    pub job_share_by_length: [f64; 3],
+    /// The size class holding the most core-hours.
+    pub dominant_size: SizeClass,
+    /// The length class holding the most core-hours.
+    pub dominant_length: LengthClass,
+}
+
+/// Computes Fig. 2 for one trace.
+#[must_use]
+pub fn domination(trace: &Trace) -> Domination {
+    let mut ch_size = [0.0f64; 3];
+    let mut n_size = [0usize; 3];
+    let mut ch_len = [0.0f64; 3];
+    let mut n_len = [0usize; 3];
+    for j in trace.jobs() {
+        let ch = j.core_hours();
+        let s = SizeClass::classify(j.procs, &trace.system) as usize;
+        let l = LengthClass::classify(j.runtime) as usize;
+        ch_size[s] += ch;
+        n_size[s] += 1;
+        ch_len[l] += ch;
+        n_len[l] += 1;
+    }
+    let total_ch: f64 = ch_size.iter().sum::<f64>().max(f64::MIN_POSITIVE);
+    let total_n = trace.len().max(1) as f64;
+
+    let share = |xs: [f64; 3]| [xs[0] / total_ch, xs[1] / total_ch, xs[2] / total_ch];
+    let nshare = |xs: [usize; 3]| {
+        [
+            xs[0] as f64 / total_n,
+            xs[1] as f64 / total_n,
+            xs[2] as f64 / total_n,
+        ]
+    };
+    let by_size = share(ch_size);
+    let by_length = share(ch_len);
+
+    let argmax = |xs: &[f64; 3]| {
+        xs.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite shares"))
+            .map(|(i, _)| i)
+            .expect("three classes")
+    };
+
+    Domination {
+        by_size,
+        job_share_by_size: nshare(n_size),
+        by_length,
+        job_share_by_length: nshare(n_len),
+        dominant_size: SizeClass::ALL[argmax(&by_size)],
+        dominant_length: LengthClass::ALL[argmax(&by_length)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_core::{Job, SystemSpec, HOUR};
+
+    #[test]
+    fn shares_sum_to_one() {
+        let spec = SystemSpec::philly();
+        let jobs = vec![
+            Job::basic(1, 1, 0, HOUR / 2, 1),      // small, short
+            Job::basic(2, 1, 1, 2 * HOUR, 4),      // middle, middle
+            Job::basic(3, 1, 2, 30 * HOUR, 64),    // large, long
+        ];
+        let d = domination(&Trace::new(spec, jobs).unwrap());
+        assert!((d.by_size.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((d.by_length.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((d.job_share_by_size.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_long_job_dominates() {
+        let spec = SystemSpec::philly();
+        let jobs = vec![
+            Job::basic(1, 1, 0, HOUR / 2, 1),
+            Job::basic(2, 1, 1, 30 * HOUR, 64), // 1920 GPU-hours ≫ 0.5
+        ];
+        let d = domination(&Trace::new(spec, jobs).unwrap());
+        assert_eq!(d.dominant_size, SizeClass::Large);
+        assert_eq!(d.dominant_length, LengthClass::Long);
+        assert!(d.by_size[2] > 0.99);
+    }
+
+    #[test]
+    fn job_counts_can_disagree_with_core_hours() {
+        // Many tiny jobs vs one huge one: counts say Small, hours say Large.
+        let spec = SystemSpec::philly();
+        let mut jobs: Vec<Job> = (0..99)
+            .map(|i| Job::basic(i, 1, i as i64, 60, 1))
+            .collect();
+        jobs.push(Job::basic(99, 1, 99, 100 * HOUR, 128));
+        let d = domination(&Trace::new(spec, jobs).unwrap());
+        assert!(d.job_share_by_size[0] > 0.9);
+        assert_eq!(d.dominant_size, SizeClass::Large);
+    }
+}

@@ -1,0 +1,203 @@
+//! Job failures — paper Figs. 6 & 7.
+//!
+//! Fig. 6: the Passed / Failed / Killed split by job count *and* by
+//! consumed core-hours (killed jobs over-consume; failed jobs die early so
+//! they under-consume). Fig. 7: how the split shifts with job size (only on
+//! DL systems) and with job length (everywhere — long jobs mostly get
+//! killed).
+
+use lumos_core::{JobStatus, LengthClass, SizeClass, Trace};
+use serde::Serialize;
+
+/// Fig. 6 data: status shares by count and by core-hours.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StatusBreakdown {
+    /// Job counts per status (Passed, Failed, Killed).
+    pub counts: [usize; 3],
+    /// Count shares per status.
+    pub count_shares: [f64; 3],
+    /// Core-hour shares per status.
+    pub core_hour_shares: [f64; 3],
+}
+
+/// Figs. 6–7 data for one system.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FailureAnalysis {
+    /// Fig. 6: overall breakdown.
+    pub overall: StatusBreakdown,
+    /// Fig. 7a: per size class, the status count-shares
+    /// (`by_size[size][status]`). `None` when the class is empty.
+    pub by_size: [Option<[f64; 3]>; 3],
+    /// Fig. 7b: per length class, the status count-shares.
+    pub by_length: [Option<[f64; 3]>; 3],
+}
+
+fn status_index(s: JobStatus) -> usize {
+    match s {
+        JobStatus::Passed => 0,
+        JobStatus::Failed => 1,
+        JobStatus::Killed => 2,
+    }
+}
+
+/// Computes Figs. 6–7 for one trace.
+#[must_use]
+pub fn failure_analysis(trace: &Trace) -> FailureAnalysis {
+    let mut counts = [0usize; 3];
+    let mut hours = [0.0f64; 3];
+    let mut size_counts = [[0usize; 3]; 3];
+    let mut len_counts = [[0usize; 3]; 3];
+    for j in trace.jobs() {
+        let s = status_index(j.status);
+        counts[s] += 1;
+        hours[s] += j.core_hours();
+        size_counts[SizeClass::classify(j.procs, &trace.system) as usize][s] += 1;
+        len_counts[LengthClass::classify(j.runtime) as usize][s] += 1;
+    }
+    let n = trace.len().max(1) as f64;
+    let total_hours: f64 = hours.iter().sum::<f64>().max(f64::MIN_POSITIVE);
+    let shares = |c: [[usize; 3]; 3]| {
+        c.map(|row| {
+            let total: usize = row.iter().sum();
+            (total > 0).then(|| row.map(|x| x as f64 / total as f64))
+        })
+    };
+    FailureAnalysis {
+        overall: StatusBreakdown {
+            counts,
+            count_shares: counts.map(|c| c as f64 / n),
+            core_hour_shares: hours.map(|h| h / total_hours),
+        },
+        by_size: shares(size_counts),
+        by_length: shares(len_counts),
+    }
+}
+
+/// Rank correlations between job geometry and the kill/fail outcome —
+/// quantifying the Fig. 7 panels: runtime correlates with being killed on
+/// every system, while size only correlates with failure on DL systems.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FailureCorrelations {
+    /// Spearman ρ between runtime and the killed indicator.
+    pub runtime_vs_killed: Option<f64>,
+    /// Spearman ρ between requested units and the unsuccessful indicator.
+    pub size_vs_unsuccessful: Option<f64>,
+}
+
+/// Computes the Fig. 7 correlation coefficients.
+#[must_use]
+pub fn failure_correlations(trace: &Trace) -> FailureCorrelations {
+    let runtimes: Vec<f64> = trace.jobs().iter().map(|j| j.runtime as f64).collect();
+    let killed: Vec<f64> = trace
+        .jobs()
+        .iter()
+        .map(|j| f64::from(u8::from(j.status == JobStatus::Killed)))
+        .collect();
+    let sizes: Vec<f64> = trace.jobs().iter().map(|j| j.procs as f64).collect();
+    let unsuccessful: Vec<f64> = trace
+        .jobs()
+        .iter()
+        .map(|j| f64::from(u8::from(j.status.is_unsuccessful())))
+        .collect();
+    FailureCorrelations {
+        runtime_vs_killed: lumos_stats::correlation::spearman(&runtimes, &killed),
+        size_vs_unsuccessful: lumos_stats::correlation::spearman(&sizes, &unsuccessful),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_core::{Job, SystemSpec, DAY, HOUR};
+
+    fn job(id: u64, runtime: i64, procs: u64, status: JobStatus) -> Job {
+        let mut j = Job::basic(id, 1, id as i64, runtime, procs);
+        j.status = status;
+        j
+    }
+
+    #[test]
+    fn overall_breakdown() {
+        let spec = SystemSpec::philly();
+        let jobs = vec![
+            job(1, 100, 1, JobStatus::Passed),
+            job(2, 100, 1, JobStatus::Failed),
+            job(3, 100, 1, JobStatus::Killed),
+            job(4, 100, 1, JobStatus::Killed),
+        ];
+        let f = failure_analysis(&Trace::new(spec, jobs).unwrap());
+        assert_eq!(f.overall.counts, [1, 1, 2]);
+        assert!((f.overall.count_shares[2] - 0.5).abs() < 1e-12);
+        // Equal runtimes/procs: core-hour shares equal count shares.
+        assert!((f.overall.core_hour_shares[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn killed_jobs_over_consume_core_hours() {
+        let spec = SystemSpec::philly();
+        let jobs = vec![
+            job(1, 60, 1, JobStatus::Passed),
+            job(2, 60, 1, JobStatus::Passed),
+            job(3, 60, 1, JobStatus::Passed),
+            job(4, 6_000, 8, JobStatus::Killed),
+        ];
+        let f = failure_analysis(&Trace::new(spec, jobs).unwrap());
+        assert!(f.overall.count_shares[2] < f.overall.core_hour_shares[2]);
+    }
+
+    #[test]
+    fn by_length_tracks_kill_rates() {
+        let spec = SystemSpec::philly();
+        let jobs = vec![
+            job(1, 60, 1, JobStatus::Passed),
+            job(2, 2 * HOUR, 1, JobStatus::Passed),
+            job(3, 2 * DAY, 1, JobStatus::Killed),
+            job(4, 3 * DAY, 1, JobStatus::Killed),
+        ];
+        let f = failure_analysis(&Trace::new(spec, jobs).unwrap());
+        let long = f.by_length[2].unwrap();
+        assert!((long[2] - 1.0).abs() < 1e-12, "all long jobs killed");
+        let short = f.by_length[0].unwrap();
+        assert!((short[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlations_detect_the_kill_runtime_link() {
+        let spec = SystemSpec::philly();
+        let mut jobs = Vec::new();
+        // Short jobs pass, long jobs get killed: strong positive rho.
+        for i in 0..50u64 {
+            jobs.push(job(i, 60 + i as i64, 1, JobStatus::Passed));
+        }
+        for i in 50..100u64 {
+            jobs.push(job(i, 80_000 + i as i64, 1, JobStatus::Killed));
+        }
+        let c = failure_correlations(&Trace::new(spec, jobs).unwrap());
+        assert!(c.runtime_vs_killed.unwrap() > 0.8);
+        // Size is constant, so no size correlation is computable.
+        assert!(c.size_vs_unsuccessful.is_none());
+    }
+
+    #[test]
+    fn correlations_near_zero_when_independent() {
+        let spec = SystemSpec::philly();
+        let jobs: Vec<Job> = (0..100u64)
+            .map(|i| {
+                let status = if i % 2 == 0 { JobStatus::Passed } else { JobStatus::Killed };
+                job(i, 100 + (i % 7) as i64, 1 + (i % 5), status)
+            })
+            .collect();
+        let c = failure_correlations(&Trace::new(spec, jobs).unwrap());
+        assert!(c.size_vs_unsuccessful.unwrap().abs() < 0.3);
+    }
+
+    #[test]
+    fn empty_classes_are_none() {
+        let spec = SystemSpec::philly();
+        let jobs = vec![job(1, 60, 1, JobStatus::Passed)];
+        let f = failure_analysis(&Trace::new(spec, jobs).unwrap());
+        assert!(f.by_size[2].is_none());
+        assert!(f.by_length[1].is_none());
+        assert!(f.by_length[2].is_none());
+    }
+}

@@ -1,0 +1,195 @@
+//! Job geometries — paper Fig. 1.
+//!
+//! * [`runtime_geometry`] — runtime CDF + violin (Fig. 1a),
+//! * [`arrival_geometry`] — inter-arrival CDF + hourly pattern (Fig. 1b),
+//! * [`resource_geometry`] — requested-units CDF, absolute and as a
+//!   fraction of the machine (Fig. 1c).
+
+use lumos_core::{hour_of_day, Trace};
+use lumos_stats::{Ecdf, ViolinSummary};
+use serde::Serialize;
+
+/// Number of points in exported CDF curves.
+const CURVE_POINTS: usize = 100;
+
+/// Fig. 1a data for one system.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuntimeGeometry {
+    /// Median runtime (s).
+    pub median: f64,
+    /// Mean runtime (s).
+    pub mean: f64,
+    /// Minimum / maximum runtime (s).
+    pub min: f64,
+    /// Maximum runtime (s).
+    pub max: f64,
+    /// Log-spaced CDF curve `(runtime_s, F)`.
+    pub cdf: Vec<(f64, f64)>,
+    /// Violin summary (log scale).
+    pub violin: ViolinSummary,
+}
+
+/// Computes Fig. 1a for one trace.
+#[must_use]
+pub fn runtime_geometry(trace: &Trace) -> RuntimeGeometry {
+    let runtimes: Vec<f64> = trace
+        .jobs()
+        .iter()
+        .map(|j| (j.runtime.max(1)) as f64)
+        .collect();
+    let ecdf = Ecdf::new(runtimes.clone());
+    RuntimeGeometry {
+        median: ecdf.median(),
+        mean: ecdf.mean(),
+        min: ecdf.min(),
+        max: ecdf.max(),
+        cdf: ecdf.log_curve(CURVE_POINTS, 1.0),
+        violin: ViolinSummary::build(&runtimes, true, 1.0, 120),
+    }
+}
+
+/// Fig. 1b data for one system.
+#[derive(Debug, Clone, Serialize)]
+pub struct ArrivalGeometry {
+    /// Median inter-arrival gap (s).
+    pub median_interval: f64,
+    /// Mean inter-arrival gap (s).
+    pub mean_interval: f64,
+    /// Log-spaced CDF curve of inter-arrival gaps `(gap_s, F)`.
+    pub interval_cdf: Vec<(f64, f64)>,
+    /// Job arrivals per local hour of day (24 bins).
+    pub hourly: [u64; 24],
+    /// Max/min ratio over the populated hourly bins — the paper's measure
+    /// of diurnal peak intensity (e.g. ≈ 2.5 for Philly, ≈ 10 for Helios).
+    pub hourly_max_min_ratio: Option<f64>,
+}
+
+/// Computes Fig. 1b for one trace.
+#[must_use]
+pub fn arrival_geometry(trace: &Trace) -> ArrivalGeometry {
+    let jobs = trace.jobs();
+    let gaps: Vec<f64> = jobs
+        .windows(2)
+        .map(|w| ((w[1].submit - w[0].submit).max(0)) as f64)
+        .collect();
+    // A single-job trace has no gaps; treat it as one zero gap.
+    let gaps = if gaps.is_empty() { vec![0.0] } else { gaps };
+    let ecdf = Ecdf::new(gaps);
+
+    let mut hourly = [0u64; 24];
+    for j in jobs {
+        hourly[hour_of_day(j.submit, trace.system.tz_offset) as usize] += 1;
+    }
+    let populated: Vec<u64> = hourly.iter().copied().filter(|&c| c > 0).collect();
+    let hourly_max_min_ratio = if populated.len() >= 2 {
+        let max = *populated.iter().max().expect("non-empty");
+        let min = *populated.iter().min().expect("non-empty");
+        Some(max as f64 / min as f64)
+    } else {
+        None
+    };
+
+    ArrivalGeometry {
+        median_interval: ecdf.median(),
+        mean_interval: ecdf.mean(),
+        interval_cdf: ecdf.log_curve(CURVE_POINTS, 0.5),
+        hourly,
+        hourly_max_min_ratio,
+    }
+}
+
+/// Fig. 1c data for one system.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResourceGeometry {
+    /// Median requested units (cores / GPUs).
+    pub median_procs: f64,
+    /// Fraction of jobs requesting exactly one unit.
+    pub single_unit_share: f64,
+    /// Fraction of jobs requesting more than 1,000 units (the paper's
+    /// Mira-vs-DL contrast).
+    pub over_1000_share: f64,
+    /// Log-spaced CDF of requested units `(units, F)`.
+    pub procs_cdf: Vec<(f64, f64)>,
+    /// Log-spaced CDF of requested fraction of the machine `(fraction, F)`.
+    pub fraction_cdf: Vec<(f64, f64)>,
+}
+
+/// Computes Fig. 1c for one trace.
+#[must_use]
+pub fn resource_geometry(trace: &Trace) -> ResourceGeometry {
+    let total = trace.system.total_units as f64;
+    let procs: Vec<f64> = trace.jobs().iter().map(|j| j.procs as f64).collect();
+    let n = procs.len() as f64;
+    let single = procs.iter().filter(|&&p| p <= 1.0).count() as f64 / n;
+    let over_1000 = procs.iter().filter(|&&p| p > 1_000.0).count() as f64 / n;
+    let ecdf = Ecdf::new(procs.clone());
+    let frac_ecdf = Ecdf::new(procs.iter().map(|p| p / total).collect());
+    ResourceGeometry {
+        median_procs: ecdf.median(),
+        single_unit_share: single,
+        over_1000_share: over_1000,
+        procs_cdf: ecdf.log_curve(CURVE_POINTS, 1.0),
+        fraction_cdf: frac_ecdf.log_curve(CURVE_POINTS, 1e-7),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_core::{Job, SystemSpec};
+
+    fn trace(runtimes: &[i64]) -> Trace {
+        let jobs: Vec<Job> = runtimes
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| Job::basic(i as u64, 1, (i as i64) * 100, r, 64))
+            .collect();
+        Trace::new(SystemSpec::theta(), jobs).unwrap()
+    }
+
+    #[test]
+    fn runtime_geometry_median() {
+        let g = runtime_geometry(&trace(&[100, 200, 300]));
+        assert_eq!(g.median, 200.0);
+        assert_eq!(g.min, 100.0);
+        assert_eq!(g.max, 300.0);
+        assert_eq!(g.violin.n, 3);
+    }
+
+    #[test]
+    fn zero_runtimes_are_floored_for_log_axes() {
+        let g = runtime_geometry(&trace(&[0, 10]));
+        assert_eq!(g.min, 1.0);
+    }
+
+    #[test]
+    fn arrival_gaps_are_differences() {
+        let a = arrival_geometry(&trace(&[10, 10, 10]));
+        assert_eq!(a.median_interval, 100.0);
+        assert_eq!(a.mean_interval, 100.0);
+    }
+
+    #[test]
+    fn hourly_pattern_uses_local_time() {
+        // Theta is UTC−6: submissions at trace-hour 8 land in local hour 2.
+        let a = arrival_geometry(&trace(&[10; 5]));
+        let total: u64 = a.hourly.iter().sum();
+        assert_eq!(total, 5);
+        // All five jobs are within the first 500 seconds ⇒ local hour 18.
+        assert_eq!(a.hourly[18], 5);
+    }
+
+    #[test]
+    fn resource_shares() {
+        let mut jobs: Vec<Job> = (0..8)
+            .map(|i| Job::basic(i, 1, i as i64, 10, 1))
+            .collect();
+        jobs.push(Job::basic(8, 1, 8, 10, 2_000));
+        jobs.push(Job::basic(9, 1, 9, 10, 2_000));
+        let t = Trace::new(SystemSpec::theta(), jobs).unwrap();
+        let r = resource_geometry(&t);
+        assert!((r.single_unit_share - 0.8).abs() < 1e-12);
+        assert!((r.over_1000_share - 0.2).abs() < 1e-12);
+        assert_eq!(r.median_procs, 1.0);
+    }
+}

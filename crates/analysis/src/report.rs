@@ -1,0 +1,100 @@
+//! Dataset overview — paper Table I.
+
+use lumos_core::{SystemKind, Trace};
+use serde::Serialize;
+
+/// One Table I row.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct OverviewRow {
+    /// System name.
+    pub system: String,
+    /// Workload class.
+    pub kind: SystemKind,
+    /// Jobs in the trace window.
+    pub job_count: usize,
+    /// Total nodes.
+    pub nodes: u32,
+    /// Total scheduling units (cores or GPUs).
+    pub units: u64,
+    /// Whether the units are GPUs.
+    pub gpu_scheduled: bool,
+    /// Distinct users.
+    pub users: usize,
+    /// Trace window length in days.
+    pub span_days: f64,
+    /// Virtual clusters.
+    pub virtual_clusters: u16,
+}
+
+/// Builds the Table I row for one trace.
+#[must_use]
+pub fn overview(trace: &Trace) -> OverviewRow {
+    OverviewRow {
+        system: trace.system.name.clone(),
+        kind: trace.system.kind,
+        job_count: trace.len(),
+        nodes: trace.system.total_nodes,
+        units: trace.system.total_units,
+        gpu_scheduled: trace.system.is_gpu_scheduled(),
+        users: trace.users().len(),
+        span_days: trace.span() as f64 / 86_400.0,
+        virtual_clusters: trace.system.virtual_clusters,
+    }
+}
+
+/// Renders rows as an aligned text table (the CLI's `table1` output).
+#[must_use]
+pub fn render_table(rows: &[OverviewRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>9} {:>8} {:>9} {:>6} {:>6} {:>5} {:>4}",
+        "System", "Jobs", "Nodes", "Units", "GPU?", "Users", "Days", "VCs"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>9} {:>8} {:>9} {:>6} {:>6} {:>5.1} {:>4}",
+            r.system,
+            r.job_count,
+            r.nodes,
+            r.units,
+            if r.gpu_scheduled { "yes" } else { "no" },
+            r.users,
+            r.span_days,
+            r.virtual_clusters,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_core::{Job, SystemSpec};
+
+    #[test]
+    fn overview_counts() {
+        let jobs = vec![
+            Job::basic(1, 1, 0, 10, 64),
+            Job::basic(2, 2, 86_400, 10, 64),
+        ];
+        let t = Trace::new(SystemSpec::theta(), jobs).unwrap();
+        let r = overview(&t);
+        assert_eq!(r.job_count, 2);
+        assert_eq!(r.users, 2);
+        assert!((r.span_days - 1.0).abs() < 1e-9);
+        assert!(!r.gpu_scheduled);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let jobs = vec![Job::basic(1, 1, 0, 10, 1)];
+        let t = Trace::new(SystemSpec::philly(), jobs).unwrap();
+        let table = render_table(&[overview(&t)]);
+        assert!(table.contains("Philly"));
+        assert!(table.contains("yes"));
+        assert_eq!(table.lines().count(), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Per-user runtime-vs-status signatures — paper Fig. 11.
+//!
+//! For the heaviest users, the runtime distributions of Passed, Failed, and
+//! Killed jobs separate sharply (failed jobs die early; killed jobs run
+//! long). That separation is the statistical basis of Use Case 1: observing
+//! a job's elapsed time narrows down its eventual status and therefore its
+//! remaining runtime.
+
+use lumos_core::{JobStatus, Trace, UserId};
+use lumos_stats::ViolinSummary;
+use serde::Serialize;
+
+/// Fig. 11 data for one user: a runtime violin per status.
+#[derive(Debug, Clone, Serialize)]
+pub struct UserStatusViolins {
+    /// The user.
+    pub user: UserId,
+    /// Total jobs the user submitted.
+    pub jobs: usize,
+    /// Violin per status (Passed, Failed, Killed); `None` when the user has
+    /// no jobs with that status.
+    pub violins: [Option<ViolinSummary>; 3],
+    /// Median runtime per status.
+    pub medians: [Option<f64>; 3],
+}
+
+impl UserStatusViolins {
+    /// True when failed jobs are clearly shorter than passed jobs
+    /// (median ratio below `ratio`) — the separation Fig. 11 highlights.
+    #[must_use]
+    pub fn failed_shorter_than_passed(&self, ratio: f64) -> Option<bool> {
+        match (self.medians[0], self.medians[1]) {
+            (Some(p), Some(f)) if p > 0.0 => Some(f < ratio * p),
+            _ => None,
+        }
+    }
+}
+
+/// Computes Fig. 11 for the `top_n` heaviest users of a trace.
+#[must_use]
+pub fn top_user_violins(trace: &Trace, top_n: usize) -> Vec<UserStatusViolins> {
+    trace
+        .top_users(top_n)
+        .into_iter()
+        .map(|(user, jobs)| {
+            let mut samples: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            for j in trace.jobs() {
+                if j.user == user {
+                    let idx = match j.status {
+                        JobStatus::Passed => 0,
+                        JobStatus::Failed => 1,
+                        JobStatus::Killed => 2,
+                    };
+                    samples[idx].push(j.runtime.max(1) as f64);
+                }
+            }
+            let violins = [0, 1, 2].map(|i| {
+                (!samples[i].is_empty())
+                    .then(|| ViolinSummary::build(&samples[i], true, 1.0, 80))
+            });
+            let medians = [0, 1, 2].map(|i| violins[i].as_ref().map(|v| v.median));
+            UserStatusViolins {
+                user,
+                jobs,
+                violins,
+                medians,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_core::{Job, SystemSpec};
+
+    fn job(id: u64, user: UserId, runtime: i64, status: JobStatus) -> Job {
+        let mut j = Job::basic(id, user, id as i64, runtime, 1);
+        j.status = status;
+        j
+    }
+
+    #[test]
+    fn violins_split_by_status() {
+        let spec = SystemSpec::philly();
+        let mut jobs = Vec::new();
+        for i in 0..20u64 {
+            jobs.push(job(i, 1, 3_600, JobStatus::Passed));
+        }
+        for i in 20..30u64 {
+            jobs.push(job(i, 1, 30, JobStatus::Failed));
+        }
+        for i in 30..40u64 {
+            jobs.push(job(i, 1, 90_000, JobStatus::Killed));
+        }
+        let t = Trace::new(spec, jobs).unwrap();
+        let v = top_user_violins(&t, 1);
+        assert_eq!(v.len(), 1);
+        let u = &v[0];
+        assert_eq!(u.jobs, 40);
+        assert_eq!(u.medians[0], Some(3_600.0));
+        assert_eq!(u.medians[1], Some(30.0));
+        assert_eq!(u.medians[2], Some(90_000.0));
+        assert_eq!(u.failed_shorter_than_passed(0.5), Some(true));
+    }
+
+    #[test]
+    fn missing_statuses_are_none() {
+        let spec = SystemSpec::philly();
+        let jobs = vec![job(1, 1, 100, JobStatus::Passed)];
+        let t = Trace::new(spec, jobs).unwrap();
+        let v = top_user_violins(&t, 1);
+        assert!(v[0].violins[0].is_some());
+        assert!(v[0].violins[1].is_none());
+        assert!(v[0].violins[2].is_none());
+        assert_eq!(v[0].failed_shorter_than_passed(0.5), None);
+    }
+
+    #[test]
+    fn top_n_limits_output() {
+        let spec = SystemSpec::philly();
+        let jobs: Vec<Job> = (0..30)
+            .map(|i| job(i, (i % 5) as UserId, 100, JobStatus::Passed))
+            .collect();
+        let t = Trace::new(spec, jobs).unwrap();
+        assert_eq!(top_user_violins(&t, 3).len(), 3);
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-user resource-configuration groups — paper Fig. 8.
+//!
+//! The "resource-configuration" of a job is the pair `[procs, runtime]`.
+//! Two jobs from the same user belong to the same group when they request
+//! exactly the same number of units and their runtimes lie within 10 % of
+//! the group's mean runtime (§V.A, following Patel et al.). The figure
+//! plots, averaged over representative (heavy) users, the cumulative share
+//! of each user's jobs covered by their top-k groups, k = 1..10.
+
+use lumos_core::{Trace, UserId};
+use rayon::prelude::*;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Fig. 8 data for one system.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GroupCurve {
+    /// `cumulative[k-1]` = average share of a user's jobs inside their top-k
+    /// groups.
+    pub cumulative: [f64; 10],
+    /// Users averaged over.
+    pub users: usize,
+}
+
+/// Groups one user's runtimes (all with equal `procs`) greedily: runtimes
+/// are sorted; a runtime joins the current group while it stays within 10 %
+/// of the group's running mean, else it opens a new group. Returns group
+/// sizes.
+fn cluster_runtimes(mut runtimes: Vec<f64>) -> Vec<usize> {
+    runtimes.sort_by(|a, b| a.partial_cmp(b).expect("no NaN runtimes"));
+    let mut groups = Vec::new();
+    let mut count = 0usize;
+    let mut mean = 0.0f64;
+    for r in runtimes {
+        if count == 0 {
+            count = 1;
+            mean = r;
+            continue;
+        }
+        let candidate_mean = (mean * count as f64 + r) / (count + 1) as f64;
+        // Membership rule: the newcomer stays within 10 % of the group's
+        // mean. Sorted input means `r` is always the current extreme.
+        if (r - candidate_mean).abs() <= 0.10 * candidate_mean {
+            count += 1;
+            mean = candidate_mean;
+        } else {
+            groups.push(count);
+            count = 1;
+            mean = r;
+        }
+    }
+    if count > 0 {
+        groups.push(count);
+    }
+    groups
+}
+
+/// Cumulative top-10 group share for one user's jobs.
+fn user_curve(trace: &Trace, user: UserId) -> Option<([f64; 10], usize)> {
+    let mut by_procs: HashMap<u64, Vec<f64>> = HashMap::new();
+    let mut total = 0usize;
+    for j in trace.jobs() {
+        if j.user == user {
+            by_procs.entry(j.procs).or_default().push(j.runtime as f64);
+            total += 1;
+        }
+    }
+    if total < 10 {
+        return None; // not enough jobs to be a representative user
+    }
+    let mut group_sizes: Vec<usize> = by_procs
+        .into_values()
+        .flat_map(cluster_runtimes)
+        .collect();
+    group_sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let mut curve = [0.0f64; 10];
+    let mut acc = 0usize;
+    for k in 0..10 {
+        if let Some(&size) = group_sizes.get(k) {
+            acc += size;
+        }
+        curve[k] = acc as f64 / total as f64;
+    }
+    Some((curve, total))
+}
+
+/// Computes Fig. 8: the average cumulative curve over the `top_n` heaviest
+/// users (those with ≥ 10 jobs).
+#[must_use]
+pub fn group_curve(trace: &Trace, top_n: usize) -> GroupCurve {
+    let heavy = trace.top_users(top_n);
+    let curves: Vec<[f64; 10]> = heavy
+        .par_iter()
+        .filter_map(|&(u, _)| user_curve(trace, u).map(|(c, _)| c))
+        .collect();
+    if curves.is_empty() {
+        return GroupCurve {
+            cumulative: [0.0; 10],
+            users: 0,
+        };
+    }
+    let mut cumulative = [0.0f64; 10];
+    for c in &curves {
+        for (acc, v) in cumulative.iter_mut().zip(c) {
+            *acc += v;
+        }
+    }
+    for acc in &mut cumulative {
+        *acc /= curves.len() as f64;
+    }
+    GroupCurve {
+        cumulative,
+        users: curves.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_core::{Job, SystemSpec};
+
+    #[test]
+    fn identical_runtimes_form_one_group() {
+        let g = cluster_runtimes(vec![100.0; 50]);
+        assert_eq!(g, vec![50]);
+    }
+
+    #[test]
+    fn distant_runtimes_split() {
+        let g = cluster_runtimes(vec![100.0, 100.0, 500.0, 500.0]);
+        assert_eq!(g, vec![2, 2]);
+    }
+
+    #[test]
+    fn ten_percent_window_is_respected() {
+        // 100 and 109: candidate mean 104.5, |109−104.5| = 4.5 ≤ 10.45 ⇒ same.
+        assert_eq!(cluster_runtimes(vec![100.0, 109.0]), vec![2]);
+        // 100 and 130: candidate mean 115, |130−115| = 15 > 11.5 ⇒ split.
+        assert_eq!(cluster_runtimes(vec![100.0, 130.0]), vec![1, 1]);
+    }
+
+    #[test]
+    fn repetitive_user_has_high_top1_share() {
+        let spec = SystemSpec::philly();
+        let mut jobs: Vec<Job> = (0..90).map(|i| Job::basic(i, 7, i as i64, 300, 1)).collect();
+        jobs.extend((90..100).map(|i| Job::basic(i, 7, i as i64, 50_000 + 5_000 * i as i64, 8)));
+        let t = Trace::new(spec, jobs).unwrap();
+        let g = group_curve(&t, 5);
+        assert_eq!(g.users, 1);
+        assert!(g.cumulative[0] >= 0.9, "top-1 share {}", g.cumulative[0]);
+        assert!(g.cumulative[9] <= 1.0 + 1e-12);
+        // Curve is non-decreasing.
+        for w in g.cumulative.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn different_procs_never_share_groups() {
+        let spec = SystemSpec::philly();
+        let mut jobs: Vec<Job> = (0..10).map(|i| Job::basic(i, 1, i as i64, 100, 1)).collect();
+        jobs.extend((10..20).map(|i| Job::basic(i, 1, i as i64, 100, 2)));
+        let t = Trace::new(spec, jobs).unwrap();
+        let g = group_curve(&t, 1);
+        // Two groups of 10 each: top-1 = 0.5, top-2 = 1.0.
+        assert!((g.cumulative[0] - 0.5).abs() < 1e-12);
+        assert!((g.cumulative[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn light_users_are_excluded() {
+        let spec = SystemSpec::philly();
+        let jobs: Vec<Job> = (0..5).map(|i| Job::basic(i, 9, i as i64, 100, 1)).collect();
+        let t = Trace::new(spec, jobs).unwrap();
+        let g = group_curve(&t, 3);
+        assert_eq!(g.users, 0);
+    }
+}

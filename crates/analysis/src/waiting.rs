@@ -1,0 +1,162 @@
+//! Waiting time and turnaround — paper Figs. 4 & 5.
+//!
+//! Requires a *replayed* trace (every job carries a wait). Fig. 4 plots
+//! per-system CDFs of waiting time and turnaround; Fig. 5 correlates mean
+//! waiting time with the size and length classes — the paper's surprises:
+//! middle-*size* jobs (not the largest) wait longest on most systems, and
+//! long jobs always wait longest (backfilling favours short jobs).
+
+use lumos_core::{LengthClass, SizeClass, Trace};
+use lumos_stats::Ecdf;
+use serde::Serialize;
+
+const CURVE_POINTS: usize = 100;
+
+/// Figs. 4–5 data for one system.
+#[derive(Debug, Clone, Serialize)]
+pub struct WaitingAnalysis {
+    /// Mean waiting time (s).
+    pub mean_wait: f64,
+    /// Median waiting time (s).
+    pub median_wait: f64,
+    /// Fraction of jobs waiting ≤ 10 s (Helios: ≈ 80 %).
+    pub under_10s_share: f64,
+    /// Fraction of jobs waiting more than 1.5 h (Blue Waters: > 50 %).
+    pub over_90min_share: f64,
+    /// Log-spaced CDF of waiting time `(wait_s, F)`.
+    pub wait_cdf: Vec<(f64, f64)>,
+    /// Log-spaced CDF of turnaround time `(turnaround_s, F)`.
+    pub turnaround_cdf: Vec<(f64, f64)>,
+    /// Mean wait per size class (small, middle, large); `None` when a class
+    /// is empty.
+    pub mean_wait_by_size: [Option<f64>; 3],
+    /// Mean wait per length class (short, middle, long).
+    pub mean_wait_by_length: [Option<f64>; 3],
+    /// Which size class waits longest.
+    pub longest_waiting_size: Option<SizeClass>,
+    /// Which length class waits longest.
+    pub longest_waiting_length: Option<LengthClass>,
+}
+
+/// Computes Figs. 4–5 for a replayed trace.
+///
+/// # Panics
+/// Panics if any job lacks a wait (replay the trace through `lumos-sim`
+/// first).
+#[must_use]
+pub fn waiting_analysis(replayed: &Trace) -> WaitingAnalysis {
+    let waits: Vec<f64> = replayed
+        .jobs()
+        .iter()
+        .map(|j| j.wait.expect("replayed trace carries waits") as f64)
+        .collect();
+    let turnarounds: Vec<f64> = replayed
+        .jobs()
+        .iter()
+        .map(|j| j.turnaround().expect("replayed") as f64)
+        .collect();
+    let n = waits.len() as f64;
+    let under_10 = waits.iter().filter(|&&w| w <= 10.0).count() as f64 / n;
+    let over_90min = waits.iter().filter(|&&w| w > 5_400.0).count() as f64 / n;
+
+    let wait_ecdf = Ecdf::new(waits);
+    let turn_ecdf = Ecdf::new(turnarounds);
+
+    let mut sum_size = [0.0f64; 3];
+    let mut n_size = [0usize; 3];
+    let mut sum_len = [0.0f64; 3];
+    let mut n_len = [0usize; 3];
+    for j in replayed.jobs() {
+        let w = j.wait.expect("replayed") as f64;
+        let s = SizeClass::classify(j.procs, &replayed.system) as usize;
+        let l = LengthClass::classify(j.runtime) as usize;
+        sum_size[s] += w;
+        n_size[s] += 1;
+        sum_len[l] += w;
+        n_len[l] += 1;
+    }
+    let means = |sum: [f64; 3], n: [usize; 3]| {
+        [0, 1, 2].map(|i| (n[i] > 0).then(|| sum[i] / n[i] as f64))
+    };
+    let mean_wait_by_size = means(sum_size, n_size);
+    let mean_wait_by_length = means(sum_len, n_len);
+
+    let argmax = |xs: &[Option<f64>; 3]| {
+        xs.iter()
+            .enumerate()
+            .filter_map(|(i, x)| x.map(|v| (i, v)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(i, _)| i)
+    };
+
+    WaitingAnalysis {
+        mean_wait: wait_ecdf.mean(),
+        median_wait: wait_ecdf.median(),
+        under_10s_share: under_10,
+        over_90min_share: over_90min,
+        wait_cdf: wait_ecdf.log_curve(CURVE_POINTS, 1.0),
+        turnaround_cdf: turn_ecdf.log_curve(CURVE_POINTS, 1.0),
+        mean_wait_by_size,
+        mean_wait_by_length,
+        longest_waiting_size: argmax(&mean_wait_by_size).map(|i| SizeClass::ALL[i]),
+        longest_waiting_length: argmax(&mean_wait_by_length).map(|i| LengthClass::ALL[i]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_core::{Job, SystemSpec, HOUR};
+
+    fn job(id: u64, wait: i64, runtime: i64, procs: u64) -> Job {
+        let mut j = Job::basic(id, 1, id as i64, runtime, procs);
+        j.wait = Some(wait);
+        j
+    }
+
+    #[test]
+    fn aggregates_and_classes() {
+        let spec = SystemSpec::philly();
+        let jobs = vec![
+            job(1, 0, 100, 1),            // small, short, no wait
+            job(2, 7_200, 2 * HOUR, 4),   // middle size, middle length
+            job(3, 100, 30 * HOUR, 64),   // large, long
+        ];
+        let w = waiting_analysis(&Trace::new(spec, jobs).unwrap());
+        assert!((w.mean_wait - (7_300.0 / 3.0)).abs() < 1e-9);
+        assert!((w.under_10s_share - 1.0 / 3.0).abs() < 1e-9);
+        assert!((w.over_90min_share - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(w.longest_waiting_size, Some(SizeClass::Middle));
+        assert_eq!(w.mean_wait_by_size[0], Some(0.0));
+        assert_eq!(w.mean_wait_by_size[1], Some(7_200.0));
+        assert_eq!(w.mean_wait_by_size[2], Some(100.0));
+    }
+
+    #[test]
+    fn empty_classes_are_none() {
+        let spec = SystemSpec::philly();
+        let jobs = vec![job(1, 5, 100, 1)];
+        let w = waiting_analysis(&Trace::new(spec, jobs).unwrap());
+        assert!(w.mean_wait_by_size[2].is_none());
+        assert_eq!(w.longest_waiting_size, Some(SizeClass::Small));
+    }
+
+    #[test]
+    #[should_panic(expected = "replayed")]
+    fn rejects_unscheduled_traces() {
+        let spec = SystemSpec::philly();
+        let jobs = vec![Job::basic(1, 1, 0, 10, 1)];
+        let _ = waiting_analysis(&Trace::new(spec, jobs).unwrap());
+    }
+
+    #[test]
+    fn turnaround_is_wait_plus_runtime() {
+        let spec = SystemSpec::philly();
+        let jobs = vec![job(1, 50, 100, 1), job(2, 50, 100, 1)];
+        let w = waiting_analysis(&Trace::new(spec, jobs).unwrap());
+        // All turnarounds are 150: the CDF jumps to 1 at 150.
+        let last = w.turnaround_cdf.last().unwrap();
+        assert!((last.0 - 150.0).abs() < 1.0);
+        assert!((last.1 - 1.0).abs() < 1e-12);
+    }
+}

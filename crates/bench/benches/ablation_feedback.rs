@@ -1,0 +1,65 @@
+//! Ablation: queue-feedback generation on/off (DESIGN.md §4.1).
+//!
+//! With feedback disabled, users submit the same mix regardless of
+//! congestion — the Figs. 9–10 gradients flatten and the adaptive
+//! backfilling advantage shrinks, demonstrating that the behavioural
+//! coupling is load-bearing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_analysis::analyze_system;
+use lumos_core::SystemId;
+use lumos_traces::{systems, Generator, GeneratorConfig};
+use std::hint::black_box;
+
+fn minimal_gradient(feedback: bool) -> Option<f64> {
+    let trace = Generator::new(
+        systems::profile_for(SystemId::Philly),
+        GeneratorConfig {
+            seed: lumos_bench::DEFAULT_SEED,
+            span_days: 2,
+            queue_feedback: feedback,
+            ..GeneratorConfig::default()
+        },
+    )
+    .generate();
+    let a = analyze_system(&trace);
+    match (a.submission.request_shares[0], a.submission.request_shares[2]) {
+        (Some(short), Some(long)) => Some(long[0] - short[0]),
+        _ => None,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n== Queue-feedback ablation (Philly, 2 days) ==");
+    println!(
+        "minimal-request share gradient (long queue − short queue):"
+    );
+    println!("  with feedback    : {:?}", minimal_gradient(true));
+    println!("  without feedback : {:?}", minimal_gradient(false));
+
+    let cfg_off = GeneratorConfig {
+        seed: 1,
+        span_days: 1,
+        queue_feedback: false,
+        ..GeneratorConfig::default()
+    };
+    let mut g = c.benchmark_group("ablation_feedback");
+    g.sample_size(10);
+    g.bench_function("generate_helios_no_feedback", |b| {
+        b.iter(|| {
+            let p = systems::profile_for(SystemId::Helios);
+            black_box(Generator::new(p, cfg_off).generate())
+        })
+    });
+    let cfg_on = GeneratorConfig {
+        queue_feedback: true,
+        ..cfg_off
+    };
+    g.bench_function("generate_helios_with_feedback", |b| {
+        b.iter(|| black_box(Generator::new(systems::profile_for(SystemId::Helios), cfg_on).generate()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation: relaxation-factor sweep (DESIGN.md §4.2).
+//!
+//! Strict vs fixed {5, 10, 20} % vs adaptive {5, 10, 20} % on Theta —
+//! shows that fixed factors buy backfill opportunities at a violation cost
+//! that grows with the factor, while the adaptive rule keeps violations
+//! flat.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_bench::table2::relax_ablation;
+use lumos_core::SystemId;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sweep = relax_ablation(SystemId::Theta, lumos_bench::DEFAULT_SEED, 4);
+    println!("\n== Relaxation-factor ablation (Theta, 4 days) ==");
+    println!(
+        "{:<14} {:>12} {:>8} {:>8} {:>12} {:>10}",
+        "variant", "mean wait", "bsld", "util", "violation", "violated"
+    );
+    for (name, m) in &sweep {
+        println!(
+            "{:<14} {:>11.0}s {:>8.2} {:>7.1}% {:>11.1}s {:>10}",
+            name,
+            m.mean_wait,
+            m.mean_bsld,
+            m.util * 100.0,
+            m.violation,
+            m.violated_jobs,
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation_relax");
+    g.sample_size(10);
+    g.bench_function("sweep_theta_1day", |b| {
+        b.iter(|| black_box(relax_ablation(SystemId::Theta, black_box(2), 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 11 — per-user runtime violins by job status.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_analysis::user_failures;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let analyses = lumos_bench::analyzed_suite(lumos_bench::DEFAULT_SEED, 1);
+    println!("\n== Fig. 11 (regenerated) ==");
+    print!("{}", lumos_bench::render::fig11(&analyses));
+
+    let traces = lumos_bench::suite(lumos_bench::DEFAULT_SEED, 1);
+    let bw = traces
+        .iter()
+        .find(|t| t.system.name == "Blue Waters")
+        .unwrap();
+
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("top_user_violins_blue_waters", |b| {
+        b.iter(|| black_box(user_failures::top_user_violins(black_box(bw), 3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 12 — runtime prediction with/without elapsed time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_core::SystemId;
+use lumos_predict::evaluate_trace;
+use lumos_traces::{systems, Generator, GeneratorConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let results = lumos_bench::fig12::run_fig12(lumos_bench::DEFAULT_SEED, 1, 8_000);
+    println!("\n== Fig. 12 (regenerated) ==");
+    print!("{}", lumos_bench::render::fig12(&results));
+
+    let trace = Generator::new(
+        systems::profile_for(SystemId::Philly),
+        GeneratorConfig {
+            seed: 3,
+            span_days: 1,
+            ..GeneratorConfig::default()
+        },
+    )
+    .generate();
+
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("prediction_grid_philly_4k", |b| {
+        b.iter(|| black_box(evaluate_trace(black_box(&trace), &[0.25], 4_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 1 — job geometries (runtime, arrival, resources). Prints the
+//! regenerated per-system summary, then benchmarks the geometry analyses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_analysis::geometry;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let analyses = lumos_bench::analyzed_suite(lumos_bench::DEFAULT_SEED, 1);
+    println!("\n== Fig. 1 (regenerated) ==");
+    print!("{}", lumos_bench::render::fig1(&analyses));
+
+    let traces = lumos_bench::suite(lumos_bench::DEFAULT_SEED, 1);
+    let helios = traces.iter().find(|t| t.system.name == "Helios").unwrap();
+
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("runtime_geometry_helios", |b| {
+        b.iter(|| black_box(geometry::runtime_geometry(black_box(helios))))
+    });
+    g.bench_function("arrival_geometry_helios", |b| {
+        b.iter(|| black_box(geometry::arrival_geometry(black_box(helios))))
+    });
+    g.bench_function("resource_geometry_helios", |b| {
+        b.iter(|| black_box(geometry::resource_geometry(black_box(helios))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 2 — core-hour domination by size and length class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_analysis::domination;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let analyses = lumos_bench::analyzed_suite(lumos_bench::DEFAULT_SEED, 1);
+    println!("\n== Fig. 2 (regenerated) ==");
+    print!("{}", lumos_bench::render::fig2(&analyses));
+
+    let traces = lumos_bench::suite(lumos_bench::DEFAULT_SEED, 1);
+    let bw = traces
+        .iter()
+        .find(|t| t.system.name == "Blue Waters")
+        .unwrap();
+
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("domination_blue_waters", |b| {
+        b.iter(|| black_box(domination::domination(black_box(bw))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 3 — system utilization timelines (requires a scheduler replay).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_sim::{simulate, SimConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let analyses = lumos_bench::analyzed_suite(lumos_bench::DEFAULT_SEED, 1);
+    println!("\n== Fig. 3 (regenerated) ==");
+    print!("{}", lumos_bench::render::fig3(&analyses));
+
+    let traces = lumos_bench::suite(lumos_bench::DEFAULT_SEED, 1);
+    let philly = traces.iter().find(|t| t.system.name == "Philly").unwrap();
+    let cfg = SimConfig::default();
+
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("replay_philly_with_timeline", |b| {
+        b.iter(|| black_box(simulate(black_box(philly), &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figs. 4–5 — waiting/turnaround CDFs and per-class waits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_analysis::waiting;
+use lumos_core::Trace;
+use lumos_sim::{simulate, SimConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let analyses = lumos_bench::analyzed_suite(lumos_bench::DEFAULT_SEED, 1);
+    println!("\n== Figs. 4-5 (regenerated) ==");
+    print!("{}", lumos_bench::render::fig4_fig5(&analyses));
+
+    // Pre-replay a trace so the bench isolates the waiting analysis.
+    let traces = lumos_bench::suite(lumos_bench::DEFAULT_SEED, 1);
+    let helios = traces.iter().find(|t| t.system.name == "Helios").unwrap();
+    let result = simulate(helios, &SimConfig::default());
+    let replayed = Trace::new(helios.system.clone(), result.jobs).unwrap();
+
+    let mut g = c.benchmark_group("fig4_fig5");
+    g.sample_size(10);
+    g.bench_function("waiting_analysis_helios", |b| {
+        b.iter(|| black_box(waiting::waiting_analysis(black_box(&replayed))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figs. 6–7 — failure distributions and geometry correlations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_analysis::failures;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let analyses = lumos_bench::analyzed_suite(lumos_bench::DEFAULT_SEED, 1);
+    println!("\n== Figs. 6-7 (regenerated) ==");
+    print!("{}", lumos_bench::render::fig6_fig7(&analyses));
+
+    let traces = lumos_bench::suite(lumos_bench::DEFAULT_SEED, 1);
+    let bw = traces
+        .iter()
+        .find(|t| t.system.name == "Blue Waters")
+        .unwrap();
+
+    let mut g = c.benchmark_group("fig6_fig7");
+    g.sample_size(10);
+    g.bench_function("failure_analysis_blue_waters", |b| {
+        b.iter(|| black_box(failures::failure_analysis(black_box(bw))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 8 — per-user resource-configuration groups.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_analysis::user_groups;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let analyses = lumos_bench::analyzed_suite(lumos_bench::DEFAULT_SEED, 1);
+    println!("\n== Fig. 8 (regenerated) ==");
+    print!("{}", lumos_bench::render::fig8(&analyses));
+
+    let traces = lumos_bench::suite(lumos_bench::DEFAULT_SEED, 1);
+    let philly = traces.iter().find(|t| t.system.name == "Philly").unwrap();
+
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("group_curve_philly_top20", |b| {
+        b.iter(|| black_box(user_groups::group_curve(black_box(philly), 20)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

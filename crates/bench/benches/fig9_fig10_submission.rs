@@ -1,0 +1,28 @@
+//! Figs. 9–10 — queue-length-conditioned submission behaviour.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_analysis::submission;
+use lumos_core::Trace;
+use lumos_sim::{simulate, SimConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let analyses = lumos_bench::analyzed_suite(lumos_bench::DEFAULT_SEED, 1);
+    println!("\n== Figs. 9-10 (regenerated) ==");
+    print!("{}", lumos_bench::render::fig9_fig10(&analyses));
+
+    let traces = lumos_bench::suite(lumos_bench::DEFAULT_SEED, 1);
+    let philly = traces.iter().find(|t| t.system.name == "Philly").unwrap();
+    let result = simulate(philly, &SimConfig::default());
+    let replayed = Trace::new(philly.system.clone(), result.jobs).unwrap();
+
+    let mut g = c.benchmark_group("fig9_fig10");
+    g.sample_size(10);
+    g.bench_function("submission_behaviour_philly", |b| {
+        b.iter(|| black_box(submission::submission_behaviour(black_box(&replayed))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Simulator throughput: jobs/second through the event engine under each
+//! backfilling discipline — the performance envelope that makes the
+//! parameter sweeps in Table II and the ablations tractable.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lumos_core::SystemId;
+use lumos_sim::{simulate, Backfill, SimConfig};
+use lumos_traces::{systems, Generator, GeneratorConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Helios: tens of thousands of small jobs per day — the stress case.
+    let trace = Generator::new(
+        systems::profile_for(SystemId::Helios),
+        GeneratorConfig {
+            seed: 1,
+            span_days: 1,
+            ..GeneratorConfig::default()
+        },
+    )
+    .generate();
+    println!("\nsim_throughput workload: {} Helios jobs", trace.len());
+
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for backfill in [Backfill::None, Backfill::Easy, Backfill::Conservative] {
+        let cfg = SimConfig {
+            backfill,
+            record_timeline: false,
+            ..SimConfig::default()
+        };
+        g.bench_function(backfill.name(), |b| {
+            b.iter(|| black_box(simulate(black_box(&trace), &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Table I — dataset overview. Prints the regenerated table once, then
+//! benchmarks trace generation for the whole suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let analyses = lumos_bench::analyzed_suite(lumos_bench::DEFAULT_SEED, 1);
+    let rows: Vec<_> = analyses.iter().map(|a| a.overview.clone()).collect();
+    println!("\n== Table I (regenerated) ==");
+    print!("{}", lumos_analysis::report::render_table(&rows));
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("generate_suite_1day", |b| {
+        b.iter(|| black_box(lumos_bench::suite(black_box(1), 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

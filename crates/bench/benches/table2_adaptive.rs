@@ -1,0 +1,31 @@
+//! Table II — adaptive relaxed backfilling vs fixed relaxed backfilling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_bench::table2::{run_system, run_table2};
+use lumos_core::SystemId;
+use lumos_sim::Relax;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // HPC arrivals are sparse: use a longer window for stable numbers.
+    let rows = run_table2(lumos_bench::DEFAULT_SEED, 1, 0.10);
+    println!("\n== Table II (regenerated) ==");
+    print!("{}", lumos_bench::render::table2(&rows));
+
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("theta_adaptive_replay", |b| {
+        b.iter(|| {
+            black_box(run_system(
+                SystemId::Theta,
+                black_box(1),
+                4,
+                Relax::Adaptive { base: 0.10 },
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! `lumos` — regenerate every table and figure of the paper from the
+//! synthetic five-system suite (or from SWF traces you supply).
+//!
+//! ```text
+//! lumos <command> [--seed N] [--days N] [--out DIR] [--swf FILE --system NAME]
+//!
+//! Commands:
+//!   table1      dataset overview (Table I)
+//!   fig1        job geometries: runtime / arrival / resources (Fig. 1)
+//!   fig2        core-hour domination (Fig. 2)
+//!   fig3        system utilization (Fig. 3)
+//!   fig4        waiting & turnaround + per-class waits (Figs. 4–5)
+//!   fig6        failure distributions + geometry correlations (Figs. 6–7)
+//!   fig8        per-user resource-configuration groups (Fig. 8)
+//!   fig9        queue-conditioned submission behaviour (Figs. 9–10)
+//!   fig11       per-user runtime violins by status (Fig. 11)
+//!   fig12       runtime prediction with elapsed time (Fig. 12)
+//!   table2      adaptive relaxed backfilling (Table II)
+//!   takeaways   evaluate the paper's eight takeaways
+//!   all         everything above + JSON report
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lumos_analysis::SystemAnalysis;
+use lumos_bench::{fig12::run_fig12, render, table2::run_table2};
+
+struct Options {
+    command: String,
+    seed: u64,
+    days: u32,
+    out: Option<PathBuf>,
+    swf: Option<PathBuf>,
+    system: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut opts = Options {
+        command,
+        seed: lumos_bench::DEFAULT_SEED,
+        days: lumos_bench::DEFAULT_DAYS,
+        out: None,
+        swf: None,
+        system: None,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--days" => opts.days = value("--days")?.parse().map_err(|e| format!("--days: {e}"))?,
+            "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
+            "--swf" => opts.swf = Some(PathBuf::from(value("--swf")?)),
+            "--system" => opts.system = Some(value("--system")?),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() -> String {
+    "usage: lumos <table1|fig1|fig2|fig3|fig4|fig6|fig8|fig9|fig11|fig12|table2|takeaways|all> \
+     [--seed N] [--days N] [--out DIR] [--swf FILE --system NAME]"
+        .to_string()
+}
+
+/// Loads the analysis suite: either the five synthetic systems, or a single
+/// SWF trace when `--swf` is given.
+fn load_suite(opts: &Options) -> Result<Vec<SystemAnalysis>, String> {
+    match &opts.swf {
+        None => Ok(lumos_bench::analyzed_suite(opts.seed, opts.days)),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let spec = match opts.system.as_deref() {
+                Some("mira") => lumos_core::SystemSpec::mira(),
+                Some("theta") | None => lumos_core::SystemSpec::theta(),
+                Some("blue-waters") => lumos_core::SystemSpec::blue_waters(),
+                Some("philly") => lumos_core::SystemSpec::philly(),
+                Some("helios") => lumos_core::SystemSpec::helios(),
+                Some(other) => return Err(format!("unknown --system {other}")),
+            };
+            let trace = lumos_traces::swf::parse(&text, spec).map_err(|e| e.to_string())?;
+            Ok(vec![lumos_analysis::analyze_system(&trace)])
+        }
+    }
+}
+
+fn write_json(opts: &Options, name: &str, json: &str) -> Result<(), String> {
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let to_json = |v: &dyn erased::Json| v.to_json();
+
+    match opts.command.as_str() {
+        "table1" => {
+            let analyses = load_suite(&opts)?;
+            let rows: Vec<_> = analyses.iter().map(|a| a.overview.clone()).collect();
+            print!("{}", lumos_analysis::report::render_table(&rows));
+            write_json(&opts, "table1", &to_json(&rows))?;
+        }
+        "fig1" => {
+            let analyses = load_suite(&opts)?;
+            print!("{}", render::fig1(&analyses));
+            write_json(&opts, "fig1", &to_json(&analyses))?;
+        }
+        "fig2" => {
+            let analyses = load_suite(&opts)?;
+            print!("{}", render::fig2(&analyses));
+        }
+        "fig3" => {
+            let analyses = load_suite(&opts)?;
+            print!("{}", render::fig3(&analyses));
+        }
+        "fig4" | "fig5" => {
+            let analyses = load_suite(&opts)?;
+            print!("{}", render::fig4_fig5(&analyses));
+        }
+        "fig6" | "fig7" => {
+            let analyses = load_suite(&opts)?;
+            print!("{}", render::fig6_fig7(&analyses));
+        }
+        "fig8" => {
+            let analyses = load_suite(&opts)?;
+            print!("{}", render::fig8(&analyses));
+        }
+        "fig9" | "fig10" => {
+            let analyses = load_suite(&opts)?;
+            print!("{}", render::fig9_fig10(&analyses));
+        }
+        "fig11" => {
+            let analyses = load_suite(&opts)?;
+            print!("{}", render::fig11(&analyses));
+        }
+        "fig12" => {
+            let results = run_fig12(opts.seed, opts.days, 20_000);
+            print!("{}", render::fig12(&results));
+            write_json(&opts, "fig12", &to_json(&results))?;
+        }
+        "table2" => {
+            let rows = run_table2(opts.seed, opts.days, 0.10);
+            print!("{}", render::table2(&rows));
+            write_json(&opts, "table2", &to_json(&rows))?;
+        }
+        "takeaways" => {
+            let analyses = load_suite(&opts)?;
+            print!("{}", render::takeaway_report(&analyses));
+        }
+        "all" => {
+            let analyses = load_suite(&opts)?;
+            let rows: Vec<_> = analyses.iter().map(|a| a.overview.clone()).collect();
+            println!("== Table I ==\n{}", lumos_analysis::report::render_table(&rows));
+            println!("== Fig. 1 (geometries) ==\n{}", render::fig1(&analyses));
+            println!("== Fig. 2 (domination) ==\n{}", render::fig2(&analyses));
+            println!("== Fig. 3 (utilization) ==\n{}", render::fig3(&analyses));
+            println!("== Figs. 4–5 (waiting) ==\n{}", render::fig4_fig5(&analyses));
+            println!("== Figs. 6–7 (failures) ==\n{}", render::fig6_fig7(&analyses));
+            println!("== Fig. 8 (user groups) ==\n{}", render::fig8(&analyses));
+            println!("== Figs. 9–10 (submissions) ==\n{}", render::fig9_fig10(&analyses));
+            println!("== Fig. 11 (user violins) ==\n{}", render::fig11(&analyses));
+            let fig12_results = run_fig12(opts.seed, opts.days, 20_000);
+            println!("== Fig. 12 (prediction) ==\n{}", render::fig12(&fig12_results));
+            let table2_rows = run_table2(opts.seed, opts.days, 0.10);
+            println!("== Table II (adaptive backfilling) ==\n{}", render::table2(&table2_rows));
+            println!("== Takeaways ==\n{}", render::takeaway_report(&analyses));
+            write_json(&opts, "suite", &to_json(&analyses))?;
+            write_json(&opts, "fig12", &to_json(&fig12_results))?;
+            write_json(&opts, "table2", &to_json(&table2_rows))?;
+        }
+        other => return Err(format!("unknown command {other}\n{}", usage())),
+    }
+    Ok(())
+}
+
+/// Tiny serialization helper so each match arm can serialize its own type.
+mod erased {
+    pub trait Json {
+        fn to_json(&self) -> String;
+    }
+    impl<T: serde::Serialize> Json for T {
+        fn to_json(&self) -> String {
+            serde_json::to_string_pretty(self).expect("report types serialize")
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

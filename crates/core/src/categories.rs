@@ -1,0 +1,324 @@
+//! Job categorisation rules from paper §III.A and §V.B.
+//!
+//! * [`SizeClass`] — small / middle / large by resource request, with
+//!   HPC-style (fraction-of-machine) and DL-style (GPU-count) thresholds.
+//! * [`LengthClass`] — short / middle / long by runtime.
+//! * [`RequestClass`] / [`RuntimeClass`] — the four-way variants with an
+//!   extra `Minimal` bucket used by the submission-behaviour analyses
+//!   (Figs. 9 & 10).
+//! * [`QueueClass`] — short / middle / long queue-length terciles.
+
+use serde::{Deserialize, Serialize};
+
+use crate::system::{SystemKind, SystemSpec};
+use crate::time::{Duration, DAY, HOUR, MINUTE};
+
+/// Three-way job size category (paper §III.A).
+///
+/// HPC systems (Mira, Theta, Blue Waters): small < 10 % of total cores,
+/// middle 10–30 %, large > 30 % (following Patel et al.).
+/// DL systems (Philly, Helios): small = 1 GPU, middle 2–8 GPUs,
+/// large > 8 GPUs (following Hu et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SizeClass {
+    /// Small request.
+    Small,
+    /// Middle request.
+    Middle,
+    /// Large request.
+    Large,
+}
+
+impl SizeClass {
+    /// All classes in ascending order.
+    pub const ALL: [SizeClass; 3] = [SizeClass::Small, SizeClass::Middle, SizeClass::Large];
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Small => "Small",
+            Self::Middle => "Middle",
+            Self::Large => "Large",
+        }
+    }
+
+    /// Classifies a request of `procs` units on `system`, applying the
+    /// HPC or DL thresholds according to the system kind.
+    #[must_use]
+    pub fn classify(procs: u64, system: &SystemSpec) -> Self {
+        match system.kind {
+            SystemKind::ClassicHpc | SystemKind::Hybrid => {
+                let frac = system.fraction_of_machine(procs);
+                if frac < 0.10 {
+                    Self::Small
+                } else if frac <= 0.30 {
+                    Self::Middle
+                } else {
+                    Self::Large
+                }
+            }
+            SystemKind::DlCluster => {
+                if procs <= 1 {
+                    Self::Small
+                } else if procs <= 8 {
+                    Self::Middle
+                } else {
+                    Self::Large
+                }
+            }
+        }
+    }
+}
+
+/// Three-way job length category (paper §III.A, following Rodrigo et al.):
+/// short < 1 h, middle 1 h – 1 day, long > 1 day. Applied identically to
+/// every system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LengthClass {
+    /// Runtime < 1 hour.
+    Short,
+    /// Runtime between 1 hour and 1 day.
+    Middle,
+    /// Runtime > 1 day.
+    Long,
+}
+
+impl LengthClass {
+    /// All classes in ascending order.
+    pub const ALL: [LengthClass; 3] = [LengthClass::Short, LengthClass::Middle, LengthClass::Long];
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Short => "Short",
+            Self::Middle => "Middle",
+            Self::Long => "Long",
+        }
+    }
+
+    /// Classifies a runtime.
+    #[must_use]
+    pub fn classify(runtime: Duration) -> Self {
+        if runtime < HOUR {
+            Self::Short
+        } else if runtime <= DAY {
+            Self::Middle
+        } else {
+            Self::Long
+        }
+    }
+}
+
+/// Four-way resource-request category for the submission-behaviour analysis
+/// (Fig. 9): `Minimal` = exactly one scheduling unit, otherwise the
+/// [`SizeClass`] buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RequestClass {
+    /// Exactly one CPU core / one GPU.
+    Minimal,
+    /// Small but more than one unit.
+    Small,
+    /// Middle request.
+    Middle,
+    /// Large request.
+    Large,
+}
+
+impl RequestClass {
+    /// All classes in ascending order.
+    pub const ALL: [RequestClass; 4] = [
+        RequestClass::Minimal,
+        RequestClass::Small,
+        RequestClass::Middle,
+        RequestClass::Large,
+    ];
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Minimal => "Minimal",
+            Self::Small => "Small",
+            Self::Middle => "Middle",
+            Self::Large => "Large",
+        }
+    }
+
+    /// Classifies a request, carving the one-unit jobs out of `Small`.
+    #[must_use]
+    pub fn classify(procs: u64, system: &SystemSpec) -> Self {
+        if procs <= 1 {
+            return Self::Minimal;
+        }
+        match SizeClass::classify(procs, system) {
+            SizeClass::Small => Self::Small,
+            SizeClass::Middle => Self::Middle,
+            SizeClass::Large => Self::Large,
+        }
+    }
+}
+
+/// Four-way runtime category for the submission-behaviour analysis
+/// (Fig. 10): `Minimal` = finished within 60 s, otherwise [`LengthClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RuntimeClass {
+    /// Runtime ≤ 60 s.
+    Minimal,
+    /// Short (≤ 1 h) but over a minute.
+    Short,
+    /// Between 1 hour and 1 day.
+    Middle,
+    /// Over a day.
+    Long,
+}
+
+impl RuntimeClass {
+    /// All classes in ascending order.
+    pub const ALL: [RuntimeClass; 4] = [
+        RuntimeClass::Minimal,
+        RuntimeClass::Short,
+        RuntimeClass::Middle,
+        RuntimeClass::Long,
+    ];
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Minimal => "Minimal",
+            Self::Short => "Short",
+            Self::Middle => "Middle",
+            Self::Long => "Long",
+        }
+    }
+
+    /// Classifies a runtime, carving the sub-minute jobs out of `Short`.
+    #[must_use]
+    pub fn classify(runtime: Duration) -> Self {
+        if runtime <= MINUTE {
+            return Self::Minimal;
+        }
+        match LengthClass::classify(runtime) {
+            LengthClass::Short => Self::Short,
+            LengthClass::Middle => Self::Middle,
+            LengthClass::Long => Self::Long,
+        }
+    }
+}
+
+/// Queue-length terciles (paper §V.B): with `Q` the maximum observed queue
+/// length, short < Q/3, middle Q/3–2Q/3, long > 2Q/3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum QueueClass {
+    /// Queue shorter than a third of the maximum.
+    Short,
+    /// Queue between one and two thirds of the maximum.
+    Middle,
+    /// Queue longer than two thirds of the maximum.
+    Long,
+}
+
+impl QueueClass {
+    /// All classes in ascending order.
+    pub const ALL: [QueueClass; 3] = [QueueClass::Short, QueueClass::Middle, QueueClass::Long];
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Short => "Short",
+            Self::Middle => "Middle",
+            Self::Long => "Long",
+        }
+    }
+
+    /// Classifies an observed queue length against the maximum queue length.
+    /// `max_queue == 0` classifies everything as `Short`.
+    #[must_use]
+    pub fn classify(queue_len: usize, max_queue: usize) -> Self {
+        if max_queue == 0 {
+            return Self::Short;
+        }
+        let frac = queue_len as f64 / max_queue as f64;
+        if frac < 1.0 / 3.0 {
+            Self::Short
+        } else if frac <= 2.0 / 3.0 {
+            Self::Middle
+        } else {
+            Self::Long
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mira() -> SystemSpec {
+        SystemSpec::mira()
+    }
+    fn philly() -> SystemSpec {
+        SystemSpec::philly()
+    }
+
+    #[test]
+    fn hpc_size_thresholds_are_fraction_based() {
+        let m = mira();
+        // 5% of Mira
+        assert_eq!(SizeClass::classify(39_321, &m), SizeClass::Small);
+        // 20% of Mira
+        assert_eq!(SizeClass::classify(157_286, &m), SizeClass::Middle);
+        // 40% of Mira
+        assert_eq!(SizeClass::classify(314_572, &m), SizeClass::Large);
+    }
+
+    #[test]
+    fn dl_size_thresholds_are_gpu_counts() {
+        let p = philly();
+        assert_eq!(SizeClass::classify(1, &p), SizeClass::Small);
+        assert_eq!(SizeClass::classify(2, &p), SizeClass::Middle);
+        assert_eq!(SizeClass::classify(8, &p), SizeClass::Middle);
+        assert_eq!(SizeClass::classify(9, &p), SizeClass::Large);
+        assert_eq!(SizeClass::classify(2_048, &p), SizeClass::Large);
+    }
+
+    #[test]
+    fn length_thresholds() {
+        assert_eq!(LengthClass::classify(0), LengthClass::Short);
+        assert_eq!(LengthClass::classify(HOUR - 1), LengthClass::Short);
+        assert_eq!(LengthClass::classify(HOUR), LengthClass::Middle);
+        assert_eq!(LengthClass::classify(DAY), LengthClass::Middle);
+        assert_eq!(LengthClass::classify(DAY + 1), LengthClass::Long);
+    }
+
+    #[test]
+    fn request_class_separates_minimal() {
+        let p = philly();
+        assert_eq!(RequestClass::classify(1, &p), RequestClass::Minimal);
+        assert_eq!(RequestClass::classify(4, &p), RequestClass::Middle);
+        let m = mira();
+        assert_eq!(RequestClass::classify(1, &m), RequestClass::Minimal);
+        assert_eq!(RequestClass::classify(16, &m), RequestClass::Small);
+    }
+
+    #[test]
+    fn runtime_class_separates_minimal() {
+        assert_eq!(RuntimeClass::classify(30), RuntimeClass::Minimal);
+        assert_eq!(RuntimeClass::classify(60), RuntimeClass::Minimal);
+        assert_eq!(RuntimeClass::classify(61), RuntimeClass::Short);
+        assert_eq!(RuntimeClass::classify(2 * HOUR), RuntimeClass::Middle);
+        assert_eq!(RuntimeClass::classify(2 * DAY), RuntimeClass::Long);
+    }
+
+    #[test]
+    fn queue_class_terciles() {
+        assert_eq!(QueueClass::classify(0, 0), QueueClass::Short);
+        assert_eq!(QueueClass::classify(0, 300), QueueClass::Short);
+        assert_eq!(QueueClass::classify(99, 300), QueueClass::Short);
+        assert_eq!(QueueClass::classify(150, 300), QueueClass::Middle);
+        assert_eq!(QueueClass::classify(250, 300), QueueClass::Long);
+        assert_eq!(QueueClass::classify(300, 300), QueueClass::Long);
+    }
+}

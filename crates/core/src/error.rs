@@ -1,0 +1,94 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Result alias using [`CoreError`].
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised by trace construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A job requested more resources than the system owns.
+    OversizedJob {
+        /// Offending job id.
+        job: u64,
+        /// Resource units requested.
+        requested: u64,
+        /// Resource units the system owns.
+        capacity: u64,
+    },
+    /// A job carries a negative or otherwise nonsensical time field.
+    InvalidTime {
+        /// Offending job id.
+        job: u64,
+        /// Human-readable description of the bad field.
+        what: &'static str,
+    },
+    /// A trace operation required jobs sorted by submit time, but they were not.
+    UnsortedTrace {
+        /// Index of the first out-of-order job.
+        index: usize,
+    },
+    /// The trace is empty where at least one job is required.
+    EmptyTrace,
+    /// A system specification is internally inconsistent.
+    InvalidSystem(String),
+    /// Parse failure in a trace file (e.g. SWF).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OversizedJob {
+                job,
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "job {job} requests {requested} resource units but the system has {capacity}"
+            ),
+            Self::InvalidTime { job, what } => write!(f, "job {job} has invalid time field: {what}"),
+            Self::UnsortedTrace { index } => {
+                write!(f, "trace is not sorted by submit time at index {index}")
+            }
+            Self::EmptyTrace => write!(f, "trace contains no jobs"),
+            Self::InvalidSystem(msg) => write!(f, "invalid system spec: {msg}"),
+            Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::OversizedJob {
+            job: 7,
+            requested: 100,
+            capacity: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("job 7"));
+        assert!(s.contains("100"));
+        assert!(s.contains("10"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CoreError::EmptyTrace, CoreError::EmptyTrace);
+        assert_ne!(
+            CoreError::EmptyTrace,
+            CoreError::UnsortedTrace { index: 0 }
+        );
+    }
+}

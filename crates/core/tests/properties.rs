@@ -1,0 +1,140 @@
+//! Property-based tests for the core data model.
+
+use lumos_core::{
+    hour_of_day, Job, JobStatus, LengthClass, QueueClass, RequestClass, RuntimeClass, SizeClass,
+    SystemSpec, Trace,
+};
+use proptest::prelude::*;
+
+fn arb_status() -> impl Strategy<Value = JobStatus> {
+    prop_oneof![
+        Just(JobStatus::Passed),
+        Just(JobStatus::Failed),
+        Just(JobStatus::Killed),
+    ]
+}
+
+fn arb_job() -> impl Strategy<Value = Job> {
+    (
+        any::<u32>(),
+        0i64..10_000_000,
+        0i64..10_000_000,
+        1u64..281_088,
+        arb_status(),
+        prop::option::of(0i64..20_000_000),
+    )
+        .prop_map(|(user, submit, runtime, procs, status, wait)| {
+            let mut j = Job::basic(u64::from(user), user % 100, submit, runtime, procs);
+            j.status = status;
+            j.wait = wait;
+            j
+        })
+}
+
+proptest! {
+    #[test]
+    fn bounded_slowdown_is_at_least_one(job in arb_job(), bound in 1i64..100) {
+        if let Some(b) = job.bounded_slowdown(bound) {
+            prop_assert!(b >= 1.0);
+        }
+    }
+
+    #[test]
+    fn core_hours_are_nonnegative_and_scale(job in arb_job()) {
+        let ch = job.core_hours();
+        prop_assert!(ch >= 0.0);
+        let mut doubled = job.clone();
+        doubled.procs *= 2;
+        prop_assert!((doubled.core_hours() - 2.0 * ch).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hour_of_day_is_always_valid(t in any::<i32>(), tz in -14i64..=14) {
+        let h = hour_of_day(i64::from(t), tz * 3_600);
+        prop_assert!(h < 24);
+    }
+
+    #[test]
+    fn size_class_is_monotone_in_procs(a in 1u64..281_088, b in 1u64..281_088) {
+        let spec = SystemSpec::theta();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(SizeClass::classify(lo, &spec) <= SizeClass::classify(hi, &spec));
+        let dl = SystemSpec::philly();
+        let (lo, hi) = (lo.min(2_490), hi.min(2_490));
+        prop_assert!(SizeClass::classify(lo, &dl) <= SizeClass::classify(hi, &dl));
+    }
+
+    #[test]
+    fn length_class_is_monotone_in_runtime(a in 0i64..10_000_000, b in 0i64..10_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(LengthClass::classify(lo) <= LengthClass::classify(hi));
+        prop_assert!(RuntimeClass::classify(lo) <= RuntimeClass::classify(hi));
+    }
+
+    #[test]
+    fn request_class_refines_size_class(procs in 1u64..281_088) {
+        let spec = SystemSpec::theta();
+        let rc = RequestClass::classify(procs, &spec);
+        let sc = SizeClass::classify(procs, &spec);
+        // Minimal only for 1 unit; otherwise consistent with SizeClass.
+        match rc {
+            RequestClass::Minimal => prop_assert_eq!(procs, 1),
+            RequestClass::Small => prop_assert_eq!(sc, SizeClass::Small),
+            RequestClass::Middle => prop_assert_eq!(sc, SizeClass::Middle),
+            RequestClass::Large => prop_assert_eq!(sc, SizeClass::Large),
+        }
+    }
+
+    #[test]
+    fn queue_class_is_monotone(len_a in 0usize..10_000, len_b in 0usize..10_000, max in 1usize..10_000) {
+        let (lo, hi) = if len_a <= len_b { (len_a, len_b) } else { (len_b, len_a) };
+        prop_assert!(QueueClass::classify(lo, max) <= QueueClass::classify(hi, max));
+    }
+
+    #[test]
+    fn trace_construction_sorts_and_preserves(jobs in prop::collection::vec(arb_job(), 1..100)) {
+        let n = jobs.len();
+        match Trace::new(SystemSpec::theta(), jobs) {
+            Ok(trace) => {
+                prop_assert_eq!(trace.len(), n);
+                let mut prev = i64::MIN;
+                for j in trace.jobs() {
+                    prop_assert!(j.submit >= prev);
+                    prev = j.submit;
+                }
+            }
+            Err(e) => {
+                // Only negative-time rejections are possible for this
+                // generator (procs are within capacity).
+                let is_time_error = matches!(e, lumos_core::CoreError::InvalidTime { .. });
+                prop_assert!(is_time_error);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_window_is_a_subset(jobs in prop::collection::vec(arb_job(), 1..100),
+                                from in 0i64..5_000_000, len in 1i64..5_000_000) {
+        let jobs: Vec<Job> = jobs.into_iter().map(|mut j| { j.wait = None; j }).collect();
+        let trace = Trace::new(SystemSpec::theta(), jobs).unwrap();
+        if let Ok(w) = trace.window(from, from + len) {
+            prop_assert!(w.len() <= trace.len());
+            for j in w.jobs() {
+                prop_assert!(j.submit >= from && j.submit < from + len);
+            }
+        }
+    }
+
+    #[test]
+    fn top_users_counts_sum_correctly(jobs in prop::collection::vec(arb_job(), 1..100)) {
+        let jobs: Vec<Job> = jobs.into_iter().map(|mut j| { j.wait = None; j }).collect();
+        let trace = Trace::new(SystemSpec::theta(), jobs).unwrap();
+        let all = trace.top_users(usize::MAX);
+        let total: usize = all.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(total, trace.len());
+        // Descending by count.
+        for w in all.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The Fig. 12 harness: every model × {without, with} elapsed time at
+//! elapsed points of 1/8, 1/4, and 1/2 of the mean runtime.
+//!
+//! Protocol (paper §VI.A, "fair comparison"): both variants predict **only**
+//! jobs that have already been running for the elapsed point `E`. The
+//! baseline ("Without Elapsed Time") is trained normally and ignores `E`;
+//! the improved variant ("With Elapsed Time") is trained on the jobs that
+//! survived `E`, receives `ln(1+E)` as an extra feature, and never predicts
+//! below `E` — a prediction under the already-observed elapsed time is
+//! certainly wrong.
+
+use lumos_core::Trace;
+use rayon::prelude::*;
+use serde::Serialize;
+
+use crate::dataset::{Dataset, Instance};
+use crate::metrics::{score, PredictionScore};
+use crate::models::{Gbt, Last2, LinearRegression, Mlp, Model, Tobit};
+
+/// Model families of Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum ModelKind {
+    /// Mean of the user's last two runtimes.
+    Last2,
+    /// Ridge linear regression.
+    LinReg,
+    /// Censored Gaussian regression.
+    Tobit,
+    /// Gradient-boosted trees (XGBoost stand-in).
+    Xgboost,
+    /// Multilayer perceptron.
+    Mlp,
+}
+
+impl ModelKind {
+    /// All families, in the paper's presentation order.
+    pub const ALL: [ModelKind; 5] = [
+        ModelKind::Last2,
+        ModelKind::Tobit,
+        ModelKind::Xgboost,
+        ModelKind::LinReg,
+        ModelKind::Mlp,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Last2 => "Last2",
+            Self::LinReg => "LR",
+            Self::Tobit => "Tobit",
+            Self::Xgboost => "XGBoost",
+            Self::Mlp => "MLP",
+        }
+    }
+
+    fn build(self) -> Option<Box<dyn Model + Send>> {
+        match self {
+            Self::Last2 => None,
+            Self::LinReg => Some(Box::new(LinearRegression::default())),
+            Self::Tobit => Some(Box::new(Tobit::default())),
+            Self::Xgboost => Some(Box::new(Gbt::default())),
+            Self::Mlp => Some(Box::new(Mlp::default())),
+        }
+    }
+}
+
+/// Which side of the comparison a score belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Variant {
+    /// Baseline: elapsed time not considered.
+    Without,
+    /// Improved: elapsed time as a feature + survival conditioning + clamp.
+    WithElapsed,
+}
+
+/// One Fig. 12 cell pair: a model at one elapsed point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12Row {
+    /// Model family.
+    pub model: ModelKind,
+    /// Elapsed point as a fraction of mean runtime (1/8, 1/4, 1/2).
+    pub elapsed_frac: f64,
+    /// Elapsed point in seconds.
+    pub elapsed_seconds: f64,
+    /// Baseline score.
+    pub without: PredictionScore,
+    /// Elapsed-aware score.
+    pub with_elapsed: PredictionScore,
+}
+
+fn static_features(i: &Instance) -> Vec<f64> {
+    i.features.to_vec()
+}
+
+fn elapsed_features(i: &Instance, elapsed: f64) -> Vec<f64> {
+    let mut f = i.features.to_vec();
+    f.push((1.0 + elapsed).ln());
+    f
+}
+
+fn run_model(
+    kind: ModelKind,
+    train: &[Instance],
+    test: &[Instance],
+    elapsed: f64,
+    global_mean: f64,
+) -> (PredictionScore, PredictionScore) {
+    let actual: Vec<f64> = test.iter().map(|i| i.runtime).collect();
+    match kind.build() {
+        None => {
+            // Last2 is history-based.
+            let without: Vec<f64> = test.iter().map(|i| Last2::predict(i, global_mean)).collect();
+            let with: Vec<f64> = test
+                .iter()
+                .map(|i| Last2::predict_with_elapsed(i, global_mean, elapsed))
+                .collect();
+            (score(&actual, &without), score(&actual, &with))
+        }
+        Some(_) => {
+            // Baseline: trained on everything, static features only.
+            let mut base = kind.build().expect("feature model");
+            let bx: Vec<Vec<f64>> = train.iter().map(static_features).collect();
+            let by: Vec<f64> = train.iter().map(|i| i.runtime).collect();
+            let bc: Vec<bool> = train.iter().map(|i| i.censored).collect();
+            base.fit(&bx, &by, &bc);
+            let without: Vec<f64> = test
+                .iter()
+                .map(|i| base.predict(&static_features(i)))
+                .collect();
+
+            // Elapsed-aware: survival-conditioned training + elapsed feature
+            // + clamp at the observed elapsed time.
+            let mut aware = kind.build().expect("feature model");
+            let survivors: Vec<&Instance> =
+                train.iter().filter(|i| i.runtime > elapsed).collect();
+            // Degenerate guard: if nothing survived E, fall back to all.
+            let pool: Vec<&Instance> = if survivors.is_empty() {
+                train.iter().collect()
+            } else {
+                survivors
+            };
+            let ax: Vec<Vec<f64>> = pool.iter().map(|i| elapsed_features(i, elapsed)).collect();
+            let ay: Vec<f64> = pool.iter().map(|i| i.runtime).collect();
+            let ac: Vec<bool> = pool.iter().map(|i| i.censored).collect();
+            aware.fit(&ax, &ay, &ac);
+            let with: Vec<f64> = test
+                .iter()
+                .map(|i| aware.predict(&elapsed_features(i, elapsed)).max(elapsed.max(1.0)))
+                .collect();
+
+            (score(&actual, &without), score(&actual, &with))
+        }
+    }
+}
+
+/// Runs the full Fig. 12 grid on one trace. `max_instances` caps the
+/// dataset (chronological thinning) so debug-mode tests stay fast.
+#[must_use]
+pub fn evaluate_trace(trace: &Trace, fracs: &[f64], max_instances: usize) -> Vec<Fig12Row> {
+    let mut dataset = Dataset::from_trace(trace);
+    if dataset.len() > max_instances && max_instances > 0 {
+        let stride = dataset.len().div_ceil(max_instances);
+        dataset.instances = dataset
+            .instances
+            .into_iter()
+            .step_by(stride)
+            .collect();
+    }
+    if dataset.len() < 20 {
+        return Vec::new();
+    }
+    let (train, test) = dataset.split(0.6);
+    let mean_runtime = train.iter().map(|i| i.runtime).sum::<f64>() / train.len() as f64;
+    let global_mean = mean_runtime;
+
+    let grid: Vec<(ModelKind, f64)> = ModelKind::ALL
+        .iter()
+        .flat_map(|&m| fracs.iter().map(move |&f| (m, f)))
+        .collect();
+
+    grid.par_iter()
+        .filter_map(|&(model, frac)| {
+            let elapsed = frac * mean_runtime;
+            let eligible: Vec<Instance> = test
+                .iter()
+                .filter(|i| i.runtime > elapsed)
+                .cloned()
+                .collect();
+            if eligible.len() < 10 {
+                return None;
+            }
+            let (without, with_elapsed) =
+                run_model(model, train, &eligible, elapsed, global_mean);
+            Some(Fig12Row {
+                model,
+                elapsed_frac: frac,
+                elapsed_seconds: elapsed,
+                without,
+                with_elapsed,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_core::{Job, JobStatus, SystemSpec};
+    use lumos_stats::Rng;
+
+    /// A synthetic bimodal workload: per user, short failures and long
+    /// passes — the Fig. 11 structure that elapsed time exploits.
+    fn bimodal_trace(n: usize, seed: u64) -> Trace {
+        let mut rng = Rng::new(seed);
+        let mut jobs = Vec::with_capacity(n);
+        for i in 0..n {
+            let user = (i % 7) as u32;
+            let fail = rng.chance(0.4);
+            let runtime = if fail {
+                10 + rng.next_below(40) as i64
+            } else {
+                3_000 + rng.next_below(1_200) as i64
+            };
+            let mut j = Job::basic(i as u64, user, i as i64 * 30, runtime, 8);
+            j.status = if fail { JobStatus::Failed } else { JobStatus::Passed };
+            jobs.push(j);
+        }
+        Trace::new(SystemSpec::theta(), jobs).unwrap()
+    }
+
+    #[test]
+    fn produces_the_full_grid() {
+        let rows = evaluate_trace(&bimodal_trace(600, 1), &[0.125, 0.25, 0.5], 10_000);
+        assert_eq!(rows.len(), 15, "5 models × 3 elapsed points");
+        for r in &rows {
+            assert!(r.without.jobs >= 10);
+            assert_eq!(r.without.jobs, r.with_elapsed.jobs);
+        }
+    }
+
+    #[test]
+    fn elapsed_time_reduces_underestimates() {
+        // The paper's headline: with elapsed time, the underestimate rate
+        // drops for (almost) every model. On a cleanly bimodal workload it
+        // must drop on average.
+        let rows = evaluate_trace(&bimodal_trace(800, 2), &[0.25], 10_000);
+        assert_eq!(rows.len(), 5);
+        let mean_without: f64 =
+            rows.iter().map(|r| r.without.underestimate_rate).sum::<f64>() / rows.len() as f64;
+        let mean_with: f64 = rows
+            .iter()
+            .map(|r| r.with_elapsed.underestimate_rate)
+            .sum::<f64>()
+            / rows.len() as f64;
+        assert!(
+            mean_with < mean_without,
+            "with {mean_with:.3} vs without {mean_without:.3}"
+        );
+    }
+
+    #[test]
+    fn accuracy_stays_comparable_or_better() {
+        let rows = evaluate_trace(&bimodal_trace(800, 3), &[0.25], 10_000);
+        let mean_without: f64 =
+            rows.iter().map(|r| r.without.accuracy).sum::<f64>() / rows.len() as f64;
+        let mean_with: f64 =
+            rows.iter().map(|r| r.with_elapsed.accuracy).sum::<f64>() / rows.len() as f64;
+        assert!(
+            mean_with > mean_without - 0.05,
+            "with {mean_with:.3} vs without {mean_without:.3}"
+        );
+    }
+
+    #[test]
+    fn tiny_traces_return_empty() {
+        let rows = evaluate_trace(&bimodal_trace(10, 4), &[0.25], 10_000);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn subsampling_caps_instances() {
+        let rows = evaluate_trace(&bimodal_trace(2_000, 5), &[0.125], 300);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.without.jobs < 200);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Prediction metrics — paper §VI.A.
+//!
+//! * **Prediction Accuracy** = `min(runtime, prediction) / max(runtime,
+//!   prediction)`, averaged over jobs; higher is better.
+//! * **Underestimate Rate** = fraction of jobs with `prediction < runtime`;
+//!   lower is better, and it is the more important metric — an
+//!   underestimated runtime makes backfilling schedule jobs into slots they
+//!   will overrun, or gets jobs killed at their predicted limit.
+
+use serde::Serialize;
+
+/// Aggregate score over a prediction run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PredictionScore {
+    /// Mean `min/max` accuracy.
+    pub accuracy: f64,
+    /// Fraction of predictions below the actual runtime.
+    pub underestimate_rate: f64,
+    /// Jobs scored.
+    pub jobs: usize,
+}
+
+/// Per-pair accuracy.
+#[must_use]
+pub fn pair_accuracy(runtime: f64, prediction: f64) -> f64 {
+    if runtime <= 0.0 || prediction <= 0.0 {
+        return 0.0;
+    }
+    let (lo, hi) = if runtime < prediction {
+        (runtime, prediction)
+    } else {
+        (prediction, runtime)
+    };
+    lo / hi
+}
+
+/// Mean accuracy over pairs.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[must_use]
+pub fn accuracy(runtimes: &[f64], predictions: &[f64]) -> f64 {
+    assert_eq!(runtimes.len(), predictions.len());
+    if runtimes.is_empty() {
+        return 0.0;
+    }
+    runtimes
+        .iter()
+        .zip(predictions)
+        .map(|(&r, &p)| pair_accuracy(r, p))
+        .sum::<f64>()
+        / runtimes.len() as f64
+}
+
+/// Fraction of pairs with `prediction < runtime`.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[must_use]
+pub fn underestimate_rate(runtimes: &[f64], predictions: &[f64]) -> f64 {
+    assert_eq!(runtimes.len(), predictions.len());
+    if runtimes.is_empty() {
+        return 0.0;
+    }
+    runtimes
+        .iter()
+        .zip(predictions)
+        .filter(|&(&r, &p)| p < r)
+        .count() as f64
+        / runtimes.len() as f64
+}
+
+/// Convenience: both metrics at once.
+#[must_use]
+pub fn score(runtimes: &[f64], predictions: &[f64]) -> PredictionScore {
+    PredictionScore {
+        accuracy: accuracy(runtimes, predictions),
+        underestimate_rate: underestimate_rate(runtimes, predictions),
+        jobs: runtimes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let s = score(&[100.0, 200.0], &[100.0, 200.0]);
+        assert_eq!(s.accuracy, 1.0);
+        assert_eq!(s.underestimate_rate, 0.0);
+    }
+
+    #[test]
+    fn accuracy_is_symmetric_ratio() {
+        assert!((pair_accuracy(100.0, 200.0) - 0.5).abs() < 1e-12);
+        assert!((pair_accuracy(200.0, 100.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underestimates_counted_strictly() {
+        let r = [100.0, 100.0, 100.0];
+        let p = [99.0, 100.0, 101.0];
+        assert!((underestimate_rate(&r, &p) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_values_score_zero() {
+        assert_eq!(pair_accuracy(0.0, 10.0), 0.0);
+        assert_eq!(pair_accuracy(10.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let s = score(&[], &[]);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.accuracy, 0.0);
+    }
+}

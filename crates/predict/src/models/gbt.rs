@@ -1,0 +1,228 @@
+//! Gradient-boosted regression trees (the XGBoost stand-in).
+//!
+//! Squared loss on `ln(runtime)`, depth-limited trees with exact split
+//! search, shrinkage, and a minimum leaf size. Deterministic: no feature or
+//! row subsampling.
+
+use crate::models::Model;
+
+/// One split node or leaf.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(f64),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn eval(&self, x: &[f64]) -> f64 {
+        match self {
+            Node::Leaf(v) => *v,
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if x[*feature] <= *threshold {
+                    left.eval(x)
+                } else {
+                    right.eval(x)
+                }
+            }
+        }
+    }
+}
+
+/// Gradient-boosted tree ensemble.
+#[derive(Debug, Clone)]
+pub struct Gbt {
+    n_trees: usize,
+    max_depth: usize,
+    min_leaf: usize,
+    learning_rate: f64,
+    base: f64,
+    trees: Vec<Node>,
+}
+
+impl Gbt {
+    /// Creates an ensemble configuration.
+    #[must_use]
+    pub fn new(n_trees: usize, max_depth: usize, min_leaf: usize, learning_rate: f64) -> Self {
+        assert!(n_trees > 0 && max_depth > 0 && min_leaf > 0);
+        assert!(learning_rate > 0.0 && learning_rate <= 1.0);
+        Self {
+            n_trees,
+            max_depth,
+            min_leaf,
+            learning_rate,
+            base: 0.0,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Number of fitted trees.
+    #[must_use]
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    fn build(
+        &self,
+        x: &[Vec<f64>],
+        residuals: &[f64],
+        indices: &mut [usize],
+        depth: usize,
+    ) -> Node {
+        let mean = indices.iter().map(|&i| residuals[i]).sum::<f64>() / indices.len() as f64;
+        if depth >= self.max_depth || indices.len() < 2 * self.min_leaf {
+            return Node::Leaf(mean);
+        }
+        let n_features = x[0].len();
+        let total_sum: f64 = indices.iter().map(|&i| residuals[i]).sum();
+        let n = indices.len() as f64;
+        let parent_score = total_sum * total_sum / n;
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        let mut sorted = indices.to_vec();
+        for f in 0..n_features {
+            sorted.sort_unstable_by(|&a, &b| {
+                x[a][f].partial_cmp(&x[b][f]).expect("finite features")
+            });
+            let mut left_sum = 0.0;
+            for (k, &i) in sorted.iter().enumerate().take(sorted.len() - 1) {
+                left_sum += residuals[i];
+                let left_n = (k + 1) as f64;
+                // Can't split between equal feature values.
+                if x[i][f] == x[sorted[k + 1]][f] {
+                    continue;
+                }
+                if k + 1 < self.min_leaf || sorted.len() - k - 1 < self.min_leaf {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_n = n - left_n;
+                let score = left_sum * left_sum / left_n + right_sum * right_sum / right_n;
+                if score > parent_score + 1e-12
+                    && best.is_none_or(|(_, _, s)| score > s)
+                {
+                    let threshold = 0.5 * (x[i][f] + x[sorted[k + 1]][f]);
+                    best = Some((f, threshold, score));
+                }
+            }
+        }
+        match best {
+            None => Node::Leaf(mean),
+            Some((feature, threshold, _)) => {
+                let (mut left_idx, mut right_idx): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| x[i][feature] <= threshold);
+                let left = self.build(x, residuals, &mut left_idx, depth + 1);
+                let right = self.build(x, residuals, &mut right_idx, depth + 1);
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }
+            }
+        }
+    }
+}
+
+impl Default for Gbt {
+    fn default() -> Self {
+        Self::new(40, 3, 5, 0.15)
+    }
+}
+
+impl Model for Gbt {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64], _censored: &[bool]) {
+        assert_eq!(x.len(), y.len());
+        self.trees.clear();
+        if x.is_empty() {
+            return;
+        }
+        let logs: Vec<f64> = y.iter().map(|&v| v.max(1.0).ln()).collect();
+        self.base = logs.iter().sum::<f64>() / logs.len() as f64;
+        let mut predictions = vec![self.base; logs.len()];
+        let mut indices: Vec<usize> = (0..logs.len()).collect();
+        for _ in 0..self.n_trees {
+            let residuals: Vec<f64> = logs
+                .iter()
+                .zip(&predictions)
+                .map(|(t, p)| t - p)
+                .collect();
+            let tree = self.build(x, &residuals, &mut indices, 0);
+            for (p, row) in predictions.iter_mut().zip(x) {
+                *p += self.learning_rate * tree.eval(row);
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut acc = self.base;
+        for t in &self.trees {
+            acc += self.learning_rate * t.eval(x);
+        }
+        acc.clamp(-5.0, 20.0).exp()
+    }
+
+    fn name(&self) -> &'static str {
+        "XGBoost"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_a_step_function() {
+        // runtime = 100 if x<5 else 10000 — trees nail this, lines cannot.
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 10) as f64]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] < 5.0 { 100.0 } else { 10_000.0 })
+            .collect();
+        let mut m = Gbt::default();
+        m.fit(&x, &y, &vec![false; y.len()]);
+        assert_eq!(m.tree_count(), 40);
+        let lo = m.predict(&[2.0]);
+        let hi = m.predict(&[8.0]);
+        assert!((lo / 100.0 - 1.0).abs() < 0.2, "lo {lo}");
+        assert!((hi / 10_000.0 - 1.0).abs() < 0.2, "hi {hi}");
+    }
+
+    #[test]
+    fn constant_target_yields_leaves() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y = vec![500.0; 50];
+        let mut m = Gbt::default();
+        m.fit(&x, &y, &[false; 50]);
+        let p = m.predict(&[25.0]);
+        assert!((p / 500.0 - 1.0).abs() < 0.01, "p {p}");
+    }
+
+    #[test]
+    fn min_leaf_is_respected_on_tiny_data() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![1.0, 10.0, 100.0];
+        let mut m = Gbt::new(5, 3, 5, 0.5);
+        m.fit(&x, &y, &[false, false, false]);
+        // 3 samples < 2×min_leaf ⇒ all trees are single leaves; prediction
+        // is the geometric-ish mean.
+        let p = m.predict(&[1.0]);
+        assert!(p.is_finite() && p > 0.0);
+    }
+
+    #[test]
+    fn unfit_model_is_safe() {
+        let m = Gbt::default();
+        assert!((m.predict(&[1.0]) - 1.0).abs() < 1e-12);
+    }
+}

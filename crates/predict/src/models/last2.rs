@@ -1,0 +1,94 @@
+//! Last2 prediction (Tsafrir et al.): the mean of the user's last two
+//! runtimes — the classic system-generated walltime estimate.
+//!
+//! The elapsed-time variant implements the paper's §VI.A intuition
+//! directly: once a job has run for `elapsed` seconds, the user's past
+//! runs that were *shorter* than `elapsed` are ruled out, so the estimate
+//! averages the last two runs that exceeded it.
+
+use crate::dataset::Instance;
+
+/// Last2 predictor (stateless; operates on per-instance history).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Last2;
+
+impl Last2 {
+    /// Baseline prediction: mean of the user's last two runtimes, falling
+    /// back to the global mean for history-less users.
+    #[must_use]
+    pub fn predict(instance: &Instance, global_mean: f64) -> f64 {
+        let h = &instance.history;
+        match h.len() {
+            0 => global_mean.max(1.0),
+            1 => h[0].max(1.0),
+            n => 0.5 * (h[n - 1] + h[n - 2]),
+        }
+    }
+
+    /// Elapsed-aware prediction: mean of the user's last two runtimes that
+    /// exceeded `elapsed`; if none exist, the next plausible milestone
+    /// (1.5× the elapsed time, but at least the global conditional
+    /// fallback). Always ≥ `elapsed`.
+    #[must_use]
+    pub fn predict_with_elapsed(instance: &Instance, global_mean: f64, elapsed: f64) -> f64 {
+        let surviving: Vec<f64> = instance
+            .history
+            .iter()
+            .copied()
+            .filter(|&r| r > elapsed)
+            .collect();
+        let raw = match surviving.len() {
+            0 => (1.5 * elapsed).max(global_mean),
+            1 => surviving[0],
+            n => 0.5 * (surviving[n - 1] + surviving[n - 2]),
+        };
+        raw.max(elapsed).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Instance, STATIC_FEATURES};
+
+    fn instance(history: Vec<f64>) -> Instance {
+        Instance {
+            user: 1,
+            features: [0.0; STATIC_FEATURES],
+            runtime: 100.0,
+            walltime: None,
+            censored: false,
+            history,
+        }
+    }
+
+    #[test]
+    fn baseline_means_last_two() {
+        let i = instance(vec![100.0, 200.0, 400.0]);
+        assert_eq!(Last2::predict(&i, 50.0), 300.0);
+    }
+
+    #[test]
+    fn baseline_falls_back_to_global_mean() {
+        assert_eq!(Last2::predict(&instance(vec![]), 777.0), 777.0);
+        assert_eq!(Last2::predict(&instance(vec![42.0]), 777.0), 42.0);
+    }
+
+    #[test]
+    fn elapsed_filters_short_history() {
+        // History has short failures (30 s) and hour-long passes; once the
+        // job survives 60 s, only the hour-long runs count.
+        let i = instance(vec![3_600.0, 30.0, 30.0, 3_700.0, 30.0]);
+        let p = Last2::predict_with_elapsed(&i, 500.0, 60.0);
+        assert_eq!(p, (3_600.0 + 3_700.0) / 2.0);
+        // Baseline is dragged down by the failure mode.
+        assert!(Last2::predict(&i, 500.0) < 2_000.0);
+    }
+
+    #[test]
+    fn elapsed_prediction_never_underestimates_elapsed() {
+        let i = instance(vec![10.0, 20.0]);
+        let p = Last2::predict_with_elapsed(&i, 15.0, 1_000.0);
+        assert!(p >= 1_000.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the prediction substrate: metric bounds,
+//! model sanity, and the elapsed-time clamp invariant.
+
+use lumos_predict::metrics::{pair_accuracy, score};
+use lumos_predict::models::{Gbt, Last2, LinearRegression, Mlp, Model, Tobit};
+use lumos_predict::Instance;
+use proptest::prelude::*;
+
+fn arb_xy() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    prop::collection::vec((0.0f64..100.0, 0.0f64..100.0, 1.0f64..100_000.0), 10..80).prop_map(
+        |rows| {
+            let x: Vec<Vec<f64>> = rows.iter().map(|&(a, b, _)| vec![a, b]).collect();
+            let y: Vec<f64> = rows.iter().map(|&(_, _, t)| t).collect();
+            (x, y)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn accuracy_is_in_unit_interval(r in 0.001f64..1e7, p in 0.001f64..1e7) {
+        let a = pair_accuracy(r, p);
+        prop_assert!((0.0..=1.0).contains(&a));
+        // Symmetric in its arguments.
+        prop_assert!((a - pair_accuracy(p, r)).abs() < 1e-12);
+        // Perfect iff equal.
+        prop_assert!((pair_accuracy(r, r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_bounds(pairs in prop::collection::vec((1.0f64..1e6, 1.0f64..1e6), 1..100)) {
+        let r: Vec<f64> = pairs.iter().map(|&(a, _)| a).collect();
+        let p: Vec<f64> = pairs.iter().map(|&(_, b)| b).collect();
+        let s = score(&r, &p);
+        prop_assert!((0.0..=1.0).contains(&s.accuracy));
+        prop_assert!((0.0..=1.0).contains(&s.underestimate_rate));
+        prop_assert_eq!(s.jobs, pairs.len());
+    }
+
+    #[test]
+    fn models_always_predict_positive_finite((x, y) in arb_xy()) {
+        let censored = vec![false; y.len()];
+        let models: Vec<Box<dyn Model>> = vec![
+            Box::new(LinearRegression::default()),
+            Box::new(Tobit::default()),
+            Box::new(Gbt::new(10, 2, 3, 0.2)),
+            Box::new(Mlp::new(4, 5, 0.02, 1)),
+        ];
+        for mut m in models {
+            m.fit(&x, &y, &censored);
+            for row in x.iter().take(10) {
+                let p = m.predict(row);
+                prop_assert!(p.is_finite() && p > 0.0, "{} predicted {p}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn constant_target_is_recovered((x, _) in arb_xy(), target in 2.0f64..1e5) {
+        let y = vec![target; x.len()];
+        let censored = vec![false; y.len()];
+        let mut lin = LinearRegression::default();
+        lin.fit(&x, &y, &censored);
+        let p = lin.predict(&x[0]);
+        prop_assert!((p / target - 1.0).abs() < 0.2, "predicted {p} for constant {target}");
+    }
+
+    #[test]
+    fn last2_with_elapsed_never_predicts_below_elapsed(
+        history in prop::collection::vec(1.0f64..1e6, 0..8),
+        elapsed in 1.0f64..1e6,
+        global in 1.0f64..1e6,
+    ) {
+        let instance = Instance {
+            user: 0,
+            features: [0.0; lumos_predict::dataset::STATIC_FEATURES],
+            runtime: 1.0,
+            walltime: None,
+            censored: false,
+            history,
+        };
+        let p = Last2::predict_with_elapsed(&instance, global, elapsed);
+        prop_assert!(p >= elapsed);
+    }
+}

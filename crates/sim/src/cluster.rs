@@ -1,0 +1,241 @@
+//! Cluster state: resource partitions and running jobs.
+//!
+//! A machine is a set of partitions. Unpartitioned systems have exactly
+//! one; Philly-style systems get one partition per isolated virtual
+//! cluster (§III.B: "a job will be queued in each virtual cluster until its
+//! requested GPUs are available in the same virtual cluster").
+
+use lumos_core::{SystemSpec, Timestamp};
+
+/// A job currently executing on a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunningJob {
+    /// Index of the job in the simulator's job table.
+    pub idx: usize,
+    /// Resource units held.
+    pub procs: u64,
+    /// Walltime-based end estimate (`start + planning_walltime`); what the
+    /// scheduler plans with.
+    pub end_estimate: Timestamp,
+    /// Actual finish time (`start + runtime`); what really happens.
+    pub finish: Timestamp,
+}
+
+/// One isolated scheduling domain (the whole machine, or one virtual
+/// cluster).
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Total resource units.
+    pub capacity: u64,
+    /// Currently free units.
+    pub free: u64,
+    /// Jobs currently executing, sorted ascending by
+    /// `(end_estimate, table index)`. The shadow-time computation walks
+    /// this in end order on *every* scheduling pass, so the ordering is
+    /// maintained incrementally instead of re-sorting thousands of running
+    /// jobs per event.
+    running: Vec<RunningJob>,
+    /// Indices of waiting jobs, kept sorted by scheduling priority.
+    pub waiting: Vec<usize>,
+}
+
+impl Partition {
+    fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            free: capacity,
+            running: Vec::new(),
+            waiting: Vec::new(),
+        }
+    }
+
+    /// Jobs currently executing, ascending by `(end_estimate, idx)`.
+    #[must_use]
+    pub fn running(&self) -> &[RunningJob] {
+        &self.running
+    }
+
+    /// Starts a job: allocates units and registers the running record in
+    /// end-estimate order.
+    ///
+    /// # Panics
+    /// Panics (debug) if the job does not fit.
+    pub fn start(&mut self, job: RunningJob) {
+        debug_assert!(job.procs <= self.free, "starting a job that does not fit");
+        self.free -= job.procs;
+        let pos = self
+            .running
+            .partition_point(|r| (r.end_estimate, r.idx) < (job.end_estimate, job.idx));
+        self.running.insert(pos, job);
+    }
+
+    /// Completes the running job with table index `idx`, freeing its units.
+    ///
+    /// # Panics
+    /// Panics if no such job is running.
+    pub fn finish(&mut self, idx: usize) -> RunningJob {
+        let pos = self
+            .running
+            .iter()
+            .position(|r| r.idx == idx)
+            .expect("finishing a job that is not running");
+        let job = self.running.remove(pos);
+        self.free += job.procs;
+        job
+    }
+}
+
+/// The whole machine.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    partitions: Vec<Partition>,
+}
+
+impl Cluster {
+    /// Builds the cluster. With `respect_virtual_clusters` and a spec
+    /// declaring more than one VC, capacity is split across partitions with
+    /// Zipf(½) weights (larger first) — production virtual clusters are
+    /// deliberately uneven, and the heaviest groups own the biggest slices.
+    /// Every partition receives at least one unit.
+    #[must_use]
+    pub fn new(spec: &SystemSpec, respect_virtual_clusters: bool) -> Self {
+        let n = if respect_virtual_clusters {
+            usize::from(spec.virtual_clusters.max(1))
+        } else {
+            1
+        };
+        if n == 1 {
+            return Self {
+                partitions: vec![Partition::new(spec.total_units)],
+            };
+        }
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).sqrt()).collect();
+        let total_w: f64 = weights.iter().sum();
+        let mut caps: Vec<u64> = weights
+            .iter()
+            .map(|w| ((w / total_w) * spec.total_units as f64).floor().max(1.0) as u64)
+            .collect();
+        let assigned: u64 = caps.iter().sum();
+        // Give rounding leftovers to the largest partition.
+        caps[0] += spec.total_units.saturating_sub(assigned);
+        Self {
+            partitions: caps.into_iter().map(Partition::new).collect(),
+        }
+    }
+
+    /// Number of partitions.
+    #[must_use]
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total capacity across partitions.
+    #[must_use]
+    pub fn total_capacity(&self) -> u64 {
+        self.partitions.iter().map(|p| p.capacity).sum()
+    }
+
+    /// Routes a job to a partition: its virtual cluster when bound and the
+    /// job fits there; otherwise the largest partition (partition 0), the
+    /// escalation path production clusters use for outsized requests.
+    #[must_use]
+    pub fn route(&self, virtual_cluster: Option<u16>, procs: u64) -> usize {
+        match virtual_cluster {
+            Some(vc) if self.partitions.len() > 1 => {
+                let idx = usize::from(vc) % self.partitions.len();
+                if procs <= self.partitions[idx].capacity {
+                    idx
+                } else {
+                    0
+                }
+            }
+            _ => 0,
+        }
+    }
+
+    /// Immutable partition access.
+    #[must_use]
+    pub fn partition(&self, idx: usize) -> &Partition {
+        &self.partitions[idx]
+    }
+
+    /// Mutable partition access.
+    pub fn partition_mut(&mut self, idx: usize) -> &mut Partition {
+        &mut self.partitions[idx]
+    }
+
+    /// Units in use across all partitions.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.partitions.iter().map(|p| p.capacity - p.free).sum()
+    }
+
+    /// Total waiting jobs across all partitions.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.partitions.iter().map(|p| p.waiting.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_core::SystemSpec;
+
+    #[test]
+    fn single_partition_for_unpartitioned_systems() {
+        let c = Cluster::new(&SystemSpec::theta(), true);
+        assert_eq!(c.partition_count(), 1);
+        assert_eq!(c.total_capacity(), 281_088);
+    }
+
+    #[test]
+    fn philly_splits_into_14_uneven_partitions() {
+        let c = Cluster::new(&SystemSpec::philly(), true);
+        assert_eq!(c.partition_count(), 14);
+        assert_eq!(c.total_capacity(), 2_490);
+        assert!(c.partition(0).capacity > c.partition(13).capacity);
+        // The biggest partition must hold the biggest Philly request (256).
+        assert!(c.partition(0).capacity >= 256);
+    }
+
+    #[test]
+    fn respect_flag_off_gives_one_pool() {
+        let c = Cluster::new(&SystemSpec::philly(), false);
+        assert_eq!(c.partition_count(), 1);
+        assert_eq!(c.total_capacity(), 2_490);
+    }
+
+    #[test]
+    fn routing_escalates_oversized_jobs() {
+        let c = Cluster::new(&SystemSpec::philly(), true);
+        let small = c.route(Some(13), 1);
+        assert_eq!(small, 13);
+        let big = c.route(Some(13), c.partition(13).capacity + 1);
+        assert_eq!(big, 0);
+        assert_eq!(c.route(None, 1), 0);
+    }
+
+    #[test]
+    fn start_and_finish_manage_units() {
+        let mut c = Cluster::new(&SystemSpec::theta(), true);
+        let p = c.partition_mut(0);
+        p.start(RunningJob {
+            idx: 7,
+            procs: 100,
+            end_estimate: 50,
+            finish: 40,
+        });
+        assert_eq!(p.free, p.capacity - 100);
+        let done = p.finish(7);
+        assert_eq!(done.idx, 7);
+        assert_eq!(p.free, p.capacity);
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn finishing_unknown_job_panics() {
+        let mut c = Cluster::new(&SystemSpec::theta(), true);
+        let _ = c.partition_mut(0).finish(3);
+    }
+}

@@ -1,0 +1,265 @@
+//! Future free-capacity profiles.
+//!
+//! Both the EASY shadow-time computation and conservative backfilling need
+//! to answer: *given the walltime-based end estimates of everything already
+//! running (and already-reserved), when is the earliest time a job of
+//! `procs` units can start?* [`CapacityProfile`] answers that with a
+//! breakpoint list of `(time, free_units)` that stays sorted by time.
+
+use lumos_core::Timestamp;
+
+/// Piecewise-constant free-capacity timeline. `points[i] = (t_i, free_i)`
+/// means `free_i` units are free on `[t_i, t_{i+1})`; the last segment
+/// extends to infinity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityProfile {
+    points: Vec<(Timestamp, u64)>,
+}
+
+impl CapacityProfile {
+    /// A profile with `free` units free from `start` onwards.
+    #[must_use]
+    pub fn new(start: Timestamp, free: u64) -> Self {
+        Self {
+            points: vec![(start, free)],
+        }
+    }
+
+    /// Builds the profile at time `now` from running-job end estimates:
+    /// `running` is a slice of `(end_estimate, procs)`.
+    #[must_use]
+    pub fn from_running(now: Timestamp, capacity: u64, running: &[(Timestamp, u64)]) -> Self {
+        let mut ends: Vec<(Timestamp, u64)> = running.to_vec();
+        ends.sort_unstable();
+        Self::from_sorted_running(now, capacity, ends.iter().copied())
+    }
+
+    /// [`Self::from_running`] for end estimates already in ascending order
+    /// (the scheduler maintains its running set sorted, making this O(n)
+    /// instead of O(n log n) — it runs on every scheduling pass).
+    ///
+    /// # Panics
+    /// Debug-asserts the ascending order.
+    #[must_use]
+    pub fn from_sorted_running(
+        now: Timestamp,
+        capacity: u64,
+        running: impl Iterator<Item = (Timestamp, u64)> + Clone,
+    ) -> Self {
+        let in_use: u64 = running.clone().map(|(_, p)| p).sum();
+        let mut profile = Self::new(now, capacity.saturating_sub(in_use));
+        let mut prev = Timestamp::MIN;
+        for (end, procs) in running {
+            debug_assert!(end >= prev, "running set must be end-sorted");
+            prev = end;
+            profile.release(end.max(now), procs);
+        }
+        profile
+    }
+
+    /// Number of breakpoints (for tests).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no breakpoints exist (never: construction seeds one).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Free units at time `t` (clamped to the first segment before it).
+    #[must_use]
+    pub fn free_at(&self, t: Timestamp) -> u64 {
+        match self.points.binary_search_by_key(&t, |&(ti, _)| ti) {
+            Ok(i) => self.points[i].1,
+            Err(0) => self.points[0].1,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Adds `procs` free units from time `at` onwards (a running job's
+    /// estimated completion).
+    pub fn release(&mut self, at: Timestamp, procs: u64) {
+        let idx = self.ensure_breakpoint(at);
+        for p in &mut self.points[idx..] {
+            p.1 += procs;
+        }
+    }
+
+    /// Removes `procs` free units over `[from, to)` (a reservation).
+    ///
+    /// # Panics
+    /// Panics (debug) if the interval lacks capacity — callers must have
+    /// checked with [`Self::earliest_fit`] / [`Self::fits`].
+    pub fn reserve(&mut self, from: Timestamp, to: Timestamp, procs: u64) {
+        if from >= to {
+            return;
+        }
+        let start_idx = self.ensure_breakpoint(from);
+        let end_idx = self.ensure_breakpoint(to);
+        for p in &mut self.points[start_idx..end_idx] {
+            debug_assert!(p.1 >= procs, "reservation exceeds free capacity");
+            p.1 = p.1.saturating_sub(procs);
+        }
+    }
+
+    /// True if `procs` units are free throughout `[from, to)`.
+    #[must_use]
+    pub fn fits(&self, from: Timestamp, to: Timestamp, procs: u64) -> bool {
+        if from >= to {
+            return true;
+        }
+        // Segment containing `from`:
+        let mut i = match self.points.binary_search_by_key(&from, |&(t, _)| t) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        while i < self.points.len() && self.points[i].0 < to {
+            if self.points[i].1 < procs {
+                return false;
+            }
+            i += 1;
+        }
+        true
+    }
+
+    /// Earliest `t ≥ after` at which `procs` units stay free for
+    /// `duration` seconds. Candidate starts are the breakpoints (capacity
+    /// only changes there). Returns `None` if `procs` can never fit (i.e.
+    /// exceeds the eventual total).
+    #[must_use]
+    pub fn earliest_fit(&self, after: Timestamp, procs: u64, duration: i64) -> Option<Timestamp> {
+        if self.fits(after, after + duration.max(0), procs) {
+            return Some(after);
+        }
+        for &(t, _) in &self.points {
+            if t <= after {
+                continue;
+            }
+            if self.fits(t, t + duration.max(0), procs) {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Earliest time at which at least `procs` units are free *and remain
+    /// free forever after* (the EASY shadow time: only completions are in
+    /// the profile, so free capacity is non-decreasing... except where
+    /// reservations were carved out). Returns `None` if never.
+    #[must_use]
+    pub fn earliest_forever(&self, after: Timestamp, procs: u64) -> Option<Timestamp> {
+        // Scan from the end: find the last segment with free < procs; the
+        // answer is the breakpoint after it.
+        let mut answer: Option<Timestamp> = None;
+        for &(t, free) in self.points.iter().rev() {
+            if free >= procs {
+                answer = Some(t.max(after));
+            } else {
+                break;
+            }
+        }
+        answer
+    }
+
+    /// The breakpoints (for tests and debugging).
+    #[must_use]
+    pub fn points(&self) -> &[(Timestamp, u64)] {
+        &self.points
+    }
+
+    /// Ensures a breakpoint exists exactly at `t`, returning its index.
+    fn ensure_breakpoint(&mut self, t: Timestamp) -> usize {
+        match self.points.binary_search_by_key(&t, |&(ti, _)| ti) {
+            Ok(i) => i,
+            Err(0) => {
+                // Before the first point: extend the first segment backwards.
+                let free = self.points[0].1;
+                self.points.insert(0, (t, free));
+                0
+            }
+            Err(i) => {
+                let free = self.points[i - 1].1;
+                self.points.insert(i, (t, free));
+                i
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_running_accumulates_releases() {
+        // Capacity 100; two running jobs: 60 units until t=50, 30 until t=80.
+        let p = CapacityProfile::from_running(0, 100, &[(50, 60), (80, 30)]);
+        assert_eq!(p.free_at(0), 10);
+        assert_eq!(p.free_at(49), 10);
+        assert_eq!(p.free_at(50), 70);
+        assert_eq!(p.free_at(80), 100);
+        assert_eq!(p.free_at(1_000), 100);
+    }
+
+    #[test]
+    fn reserve_carves_an_interval() {
+        let mut p = CapacityProfile::new(0, 100);
+        p.reserve(10, 20, 40);
+        assert_eq!(p.free_at(9), 100);
+        assert_eq!(p.free_at(10), 60);
+        assert_eq!(p.free_at(19), 60);
+        assert_eq!(p.free_at(20), 100);
+    }
+
+    #[test]
+    fn fits_checks_whole_interval() {
+        let mut p = CapacityProfile::new(0, 100);
+        p.reserve(10, 20, 80);
+        assert!(p.fits(0, 10, 100));
+        assert!(!p.fits(5, 15, 50));
+        assert!(p.fits(5, 15, 20));
+        assert!(p.fits(20, 100, 100));
+    }
+
+    #[test]
+    fn earliest_fit_scans_breakpoints() {
+        let mut p = CapacityProfile::new(0, 100);
+        p.reserve(0, 50, 90); // only 10 free until t=50
+        assert_eq!(p.earliest_fit(0, 10, 100), Some(0));
+        assert_eq!(p.earliest_fit(0, 20, 100), Some(50));
+        // 30-second job of 20 units starting at 25 would overlap the busy
+        // region, so it must wait for t=50.
+        assert_eq!(p.earliest_fit(25, 20, 30), Some(50));
+        assert_eq!(p.earliest_fit(0, 1_000, 10), None);
+    }
+
+    #[test]
+    fn earliest_forever_is_the_shadow_time() {
+        let p = CapacityProfile::from_running(0, 100, &[(50, 60), (80, 30)]);
+        assert_eq!(p.earliest_forever(0, 10), Some(0));
+        assert_eq!(p.earliest_forever(0, 70), Some(50));
+        assert_eq!(p.earliest_forever(0, 100), Some(80));
+        assert_eq!(p.earliest_forever(0, 101), None);
+        // `after` clamps forward.
+        assert_eq!(p.earliest_forever(60, 70), Some(60));
+    }
+
+    #[test]
+    fn release_before_first_point_extends_backwards() {
+        let mut p = CapacityProfile::new(100, 10);
+        p.release(50, 5);
+        assert_eq!(p.free_at(50), 15);
+        assert_eq!(p.free_at(100), 15);
+    }
+
+    #[test]
+    fn zero_length_reservation_is_a_noop() {
+        let mut p = CapacityProfile::new(0, 10);
+        p.reserve(5, 5, 10);
+        assert_eq!(p.free_at(5), 10);
+    }
+}

@@ -1,0 +1,725 @@
+//! The discrete-event scheduling engine.
+//!
+//! Replays a trace: arrivals and completions are the only events; at each
+//! event the affected partition re-runs its scheduling pass (policy-ordered
+//! head start + backfilling). Deterministic: ties are broken by
+//! `(priority, submit, id)` everywhere.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use lumos_core::{Duration, Job, Timestamp, Trace};
+use serde::{Deserialize, Serialize};
+
+use crate::backfill::{Backfill, Relax};
+use crate::cluster::{Cluster, RunningJob};
+use crate::metrics::{SimMetrics, UtilizationTimeline};
+use crate::policy::Policy;
+use crate::profile::CapacityProfile;
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Queue-ordering policy.
+    pub policy: Policy,
+    /// Backfilling discipline.
+    pub backfill: Backfill,
+    /// Reservation relaxation (EASY only).
+    pub relax: Relax,
+    /// Bounded-slowdown interactivity bound (paper: 10 s).
+    pub bsld_bound: Duration,
+    /// Honour the system's virtual-cluster partitioning (Philly).
+    pub respect_virtual_clusters: bool,
+    /// Record the utilization timeline (Fig. 3). Cheap; on by default.
+    pub record_timeline: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            policy: Policy::Fcfs,
+            backfill: Backfill::Easy,
+            relax: Relax::Strict,
+            bsld_bound: 10,
+            respect_virtual_clusters: true,
+            record_timeline: true,
+        }
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// The trace's jobs with observed waits filled in, submit-ordered.
+    pub jobs: Vec<Job>,
+    /// Aggregate scheduling metrics.
+    pub metrics: SimMetrics,
+    /// Used-units-over-time (empty if `record_timeline` was off).
+    pub timeline: UtilizationTimeline,
+    /// Largest waiting-queue length observed (summed over partitions).
+    pub max_queue_len: usize,
+}
+
+/// Replays `trace` under `config`.
+///
+/// # Panics
+/// Panics on an empty trace (which `Trace::new` already prevents).
+#[must_use]
+pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
+    Engine::new(trace, config, None).run()
+}
+
+/// Replays `trace` with scheduler-side walltime estimates overriding the
+/// user-supplied ones — the hook that puts a runtime *predictor* (paper
+/// §VI.A: "schedulers may reversely predict job run time, which is helpful
+/// in making effective scheduling decisions") into the backfilling loop.
+/// `walltimes[i]` is the planning estimate for `trace.jobs()[i]`; values
+/// are floored at 1 s. Jobs still run their true runtimes — only the
+/// scheduler's plan changes.
+///
+/// # Panics
+/// Panics if `walltimes.len() != trace.len()`.
+#[must_use]
+pub fn simulate_with_walltimes(
+    trace: &Trace,
+    config: &SimConfig,
+    walltimes: &[Duration],
+) -> SimResult {
+    assert_eq!(
+        walltimes.len(),
+        trace.len(),
+        "one walltime estimate per job"
+    );
+    Engine::new(trace, config, Some(walltimes)).run()
+}
+
+struct Engine<'a> {
+    config: &'a SimConfig,
+    jobs: Vec<Job>,
+    /// Per-job effective request, clamped to its partition's capacity so
+    /// every job is schedulable.
+    procs_eff: Vec<u64>,
+    /// Per-job walltime the scheduler plans with.
+    plan_wall: Vec<Duration>,
+    /// Per-job partition.
+    part_of: Vec<usize>,
+    /// Per-job cached policy key.
+    key_of: Vec<f64>,
+    /// Per-job promised (reserved) start time, if one was ever issued.
+    promised: Vec<Option<Timestamp>>,
+    cluster: Cluster,
+    finish_heap: BinaryHeap<Reverse<(Timestamp, usize)>>,
+    violations: Vec<(Timestamp, Timestamp)>,
+    timeline: Vec<(Timestamp, u64)>,
+    /// Per-partition running-maximum queue length (the adaptive signal).
+    max_queue: Vec<usize>,
+    /// Global maximum total queue length.
+    max_queue_total: usize,
+}
+
+impl<'a> Engine<'a> {
+    fn new(trace: &Trace, config: &'a SimConfig, walltimes: Option<&[Duration]>) -> Self {
+        let jobs: Vec<Job> = trace
+            .jobs()
+            .iter()
+            .cloned().map(|mut j| {
+                j.wait = None;
+                j
+            })
+            .collect();
+        let cluster = Cluster::new(&trace.system, config.respect_virtual_clusters);
+        let n = jobs.len();
+        let mut procs_eff = Vec::with_capacity(n);
+        let mut part_of = Vec::with_capacity(n);
+        let mut key_of = Vec::with_capacity(n);
+        let mut plan_wall = Vec::with_capacity(n);
+        for (i, j) in jobs.iter().enumerate() {
+            let part = cluster.route(j.virtual_cluster, j.procs);
+            let cap = cluster.partition(part).capacity;
+            part_of.push(part);
+            procs_eff.push(j.procs.min(cap));
+            let wall = match walltimes {
+                Some(w) => w[i].max(1),
+                None => j.planning_walltime().max(1),
+            };
+            key_of.push(config.policy.key_with(j, wall));
+            plan_wall.push(wall);
+        }
+        let parts = cluster.partition_count();
+        Self {
+            config,
+            jobs,
+            procs_eff,
+            plan_wall,
+            part_of,
+            key_of,
+            promised: vec![None; n],
+            cluster,
+            finish_heap: BinaryHeap::new(),
+            violations: Vec::new(),
+            timeline: Vec::new(),
+            max_queue: vec![0; parts],
+            max_queue_total: 0,
+        }
+    }
+
+    fn run(mut self) -> SimResult {
+        let n = self.jobs.len();
+        let mut next_arrival = 0usize;
+        let mut dirty: Vec<usize> = Vec::new();
+
+        while next_arrival < n || !self.finish_heap.is_empty() {
+            let t_arr = (next_arrival < n).then(|| self.jobs[next_arrival].submit);
+            let t_fin = self.finish_heap.peek().map(|Reverse((t, _))| *t);
+            let now = match (t_arr, t_fin) {
+                (Some(a), Some(f)) => a.min(f),
+                (Some(a), None) => a,
+                (None, Some(f)) => f,
+                (None, None) => unreachable!("loop condition"),
+            };
+
+            dirty.clear();
+            // 1. Completions at `now`.
+            while let Some(&Reverse((t, idx))) = self.finish_heap.peek() {
+                if t > now {
+                    break;
+                }
+                self.finish_heap.pop();
+                let part = self.part_of[idx];
+                self.cluster.partition_mut(part).finish(idx);
+                if !dirty.contains(&part) {
+                    dirty.push(part);
+                }
+            }
+            // 2. Arrivals at `now`.
+            while next_arrival < n && self.jobs[next_arrival].submit <= now {
+                let idx = next_arrival;
+                next_arrival += 1;
+                let part = self.part_of[idx];
+                self.enqueue(part, idx);
+                if !dirty.contains(&part) {
+                    dirty.push(part);
+                }
+            }
+            // 3. Scheduling passes.
+            dirty.sort_unstable();
+            for &part in &dirty {
+                self.schedule(part, now);
+            }
+            self.max_queue_total = self.max_queue_total.max(self.cluster.queue_len());
+            if self.config.record_timeline {
+                let used = self.cluster.used();
+                if self.timeline.last().map(|&(_, u)| u) != Some(used) {
+                    self.timeline.push((now, used));
+                } else if let Some(last) = self.timeline.last_mut() {
+                    last.0 = last.0.max(now);
+                }
+            }
+        }
+
+        debug_assert!(self.jobs.iter().all(|j| j.wait.is_some()));
+        let capacity = self.cluster.total_capacity();
+        let metrics = SimMetrics::compute(
+            &self.jobs,
+            capacity,
+            self.config.bsld_bound,
+            &self.violations,
+        );
+        SimResult {
+            metrics,
+            timeline: UtilizationTimeline {
+                capacity,
+                points: std::mem::take(&mut self.timeline),
+            },
+            max_queue_len: self.max_queue_total,
+            jobs: self.jobs,
+        }
+    }
+
+    /// Inserts `idx` into its partition's priority-sorted waiting list.
+    fn enqueue(&mut self, part: usize, idx: usize) {
+        let key = (self.key_of[idx], self.jobs[idx].submit, self.jobs[idx].id);
+        let waiting = &mut self.cluster.partition_mut(part).waiting;
+        let pos = waiting.partition_point(|&other| {
+            (self.key_of[other], self.jobs[other].submit, self.jobs[other].id) <= key
+        });
+        waiting.insert(pos, idx);
+    }
+
+    /// Starts job `idx` at `now` on `part` (must fit).
+    fn start(&mut self, part: usize, idx: usize, now: Timestamp) {
+        let job = &mut self.jobs[idx];
+        debug_assert!(job.wait.is_none(), "job started twice");
+        job.wait = Some(now - job.submit);
+        let running = RunningJob {
+            idx,
+            procs: self.procs_eff[idx],
+            end_estimate: now + self.plan_wall[idx],
+            finish: now + job.runtime,
+        };
+        self.cluster.partition_mut(part).start(running);
+        self.finish_heap.push(Reverse((running.finish, idx)));
+        if let Some(promise) = self.promised[idx] {
+            self.violations.push((promise, now));
+        }
+    }
+
+    /// One scheduling pass on a partition.
+    fn schedule(&mut self, part: usize, now: Timestamp) {
+        // Start from the head while it fits.
+        loop {
+            let p = self.cluster.partition(part);
+            match p.waiting.first() {
+                Some(&head) if self.procs_eff[head] <= p.free => {
+                    self.cluster.partition_mut(part).waiting.remove(0);
+                    self.start(part, head, now);
+                }
+                _ => break,
+            }
+        }
+        let qlen = self.cluster.partition(part).waiting.len();
+        if qlen == 0 {
+            return;
+        }
+        self.max_queue[part] = self.max_queue[part].max(qlen);
+        // Nothing can start while zero units are free — neither the head
+        // nor any backfill candidate — so skip the (O(queue + running))
+        // backfill pass entirely. On saturated systems this short-circuits
+        // the majority of arrival events.
+        if self.cluster.partition(part).free == 0 {
+            return;
+        }
+        match self.config.backfill {
+            Backfill::None => {}
+            Backfill::Easy => self.schedule_easy(part, now),
+            Backfill::Conservative => self.schedule_conservative(part, now),
+        }
+    }
+
+    /// EASY backfilling with (possibly relaxed) head reservation.
+    fn schedule_easy(&mut self, part: usize, now: Timestamp) {
+        loop {
+            let (head, shadow, extra) = {
+                let p = self.cluster.partition(part);
+                let head = p.waiting[0];
+                // The running set is end-sorted; clamping past estimates to
+                // now+1 only flattens the prefix, preserving the order.
+                let profile = CapacityProfile::from_sorted_running(
+                    now,
+                    p.capacity,
+                    p.running().iter().map(|r| (r.end_estimate.max(now + 1), r.procs)),
+                );
+                let shadow = profile
+                    .earliest_forever(now, self.procs_eff[head])
+                    .expect("procs_eff ≤ partition capacity");
+                let extra = profile.free_at(shadow).saturating_sub(self.procs_eff[head]);
+                (head, shadow, extra)
+            };
+            if self.promised[head].is_none() {
+                self.promised[head] = Some(shadow);
+            }
+            let qlen = self.cluster.partition(part).waiting.len();
+            let allowance = self.config.relax.allowance(
+                shadow - self.jobs[head].submit,
+                qlen,
+                self.max_queue[part],
+            );
+
+            // Scan backfill candidates in priority order.
+            let mut extra_remaining = extra;
+            let mut started_any = false;
+            let mut i = 1usize;
+            loop {
+                let p = self.cluster.partition(part);
+                if i >= p.waiting.len() {
+                    break;
+                }
+                let cand = p.waiting[i];
+                let procs = self.procs_eff[cand];
+                if procs <= p.free {
+                    let end = now + self.plan_wall[cand];
+                    let harmless = end <= shadow;
+                    let in_extra = procs <= extra_remaining;
+                    let in_allowance = end <= shadow + allowance;
+                    if harmless || in_extra || in_allowance {
+                        if !harmless && in_extra {
+                            extra_remaining -= procs;
+                        }
+                        self.cluster.partition_mut(part).waiting.remove(i);
+                        self.start(part, cand, now);
+                        started_any = true;
+                        continue; // same i now points at the next candidate
+                    }
+                }
+                i += 1;
+            }
+            if !started_any {
+                break;
+            }
+            // Free capacity changed; head might have become startable via
+            // cascaded completions elsewhere — re-run the head loop.
+            loop {
+                let p = self.cluster.partition(part);
+                match p.waiting.first() {
+                    Some(&h) if self.procs_eff[h] <= p.free => {
+                        self.cluster.partition_mut(part).waiting.remove(0);
+                        self.start(part, h, now);
+                    }
+                    _ => break,
+                }
+            }
+            if self.cluster.partition(part).waiting.is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// Conservative backfilling: every queued job gets a planned slot in a
+    /// shared capacity profile; whoever's slot is "now" starts.
+    fn schedule_conservative(&mut self, part: usize, now: Timestamp) {
+        let (mut profile, waiting) = {
+            let p = self.cluster.partition(part);
+            (
+                CapacityProfile::from_sorted_running(
+                    now,
+                    p.capacity,
+                    p.running().iter().map(|r| (r.end_estimate.max(now + 1), r.procs)),
+                ),
+                p.waiting.clone(),
+            )
+        };
+        let mut to_start = Vec::new();
+        for &idx in &waiting {
+            let procs = self.procs_eff[idx];
+            let wall = self.plan_wall[idx];
+            let s = profile
+                .earliest_fit(now, procs, wall)
+                .expect("procs_eff ≤ partition capacity");
+            profile.reserve(s, s + wall, procs);
+            if self.promised[idx].is_none() {
+                self.promised[idx] = Some(s);
+            }
+            if s == now {
+                to_start.push(idx);
+            }
+        }
+        for idx in to_start {
+            let p = self.cluster.partition_mut(part);
+            let pos = p
+                .waiting
+                .iter()
+                .position(|&w| w == idx)
+                .expect("job is waiting");
+            p.waiting.remove(pos);
+            self.start(part, idx, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_core::{JobStatus, SystemSpec};
+
+    /// Tiny 100-unit test system.
+    fn tiny() -> SystemSpec {
+        let mut s = SystemSpec::theta();
+        s.name = "tiny".into();
+        s.total_nodes = 100;
+        s.units_per_node = 1;
+        s.total_units = 100;
+        s
+    }
+
+    fn job(id: u64, submit: i64, runtime: i64, procs: u64, walltime: i64) -> Job {
+        Job {
+            id,
+            user: 1,
+            submit,
+            wait: None,
+            runtime,
+            walltime: Some(walltime),
+            procs,
+            nodes: procs as u32,
+            status: JobStatus::Passed,
+            virtual_cluster: None,
+        }
+    }
+
+    fn run(jobs: Vec<Job>, config: SimConfig) -> SimResult {
+        let trace = Trace::new(tiny(), jobs).unwrap();
+        simulate(&trace, &config)
+    }
+
+    fn wait_of(result: &SimResult, id: u64) -> i64 {
+        result
+            .jobs
+            .iter()
+            .find(|j| j.id == id)
+            .and_then(|j| j.wait)
+            .unwrap()
+    }
+
+    #[test]
+    fn immediate_start_when_idle() {
+        let r = run(vec![job(1, 0, 100, 50, 100)], SimConfig::default());
+        assert_eq!(wait_of(&r, 1), 0);
+        assert_eq!(r.metrics.mean_wait, 0.0);
+    }
+
+    #[test]
+    fn fcfs_without_backfill_blocks() {
+        let cfg = SimConfig {
+            backfill: Backfill::None,
+            ..SimConfig::default()
+        };
+        // Job 1 uses the whole machine for 100 s; job 2 (tiny) waits even
+        // though it would fit alongside nothing; job 3 also waits.
+        let r = run(
+            vec![
+                job(1, 0, 100, 100, 100),
+                job(2, 1, 10, 100, 10),
+                job(3, 2, 10, 1, 10),
+            ],
+            cfg,
+        );
+        assert_eq!(wait_of(&r, 1), 0);
+        assert_eq!(wait_of(&r, 2), 99);
+        // FCFS: job 3 starts only after job 2 completes (head blocking).
+        assert_eq!(wait_of(&r, 3), 108);
+    }
+
+    #[test]
+    fn easy_backfills_harmless_jobs() {
+        // Machine 100. Job1: 100 units 100 s. Job2: 100 units (head, blocked
+        // until t=100). Job3: 1 unit, 50 s — ends before the shadow (100),
+        // so EASY starts it immediately... but job1 holds all 100 units, so
+        // it cannot. Give job1 only 90 units so 10 are free.
+        let r = run(
+            vec![
+                job(1, 0, 100, 90, 100),
+                job(2, 1, 100, 100, 100),
+                job(3, 2, 50, 10, 50),
+            ],
+            SimConfig::default(),
+        );
+        assert_eq!(wait_of(&r, 1), 0);
+        // Job 3 backfills at t=2 (ends t=52 ≤ shadow t=100).
+        assert_eq!(wait_of(&r, 3), 0);
+        // Job 2 starts right when job 1 ends.
+        assert_eq!(wait_of(&r, 2), 99);
+        assert_eq!(r.metrics.violated_jobs, 0, "strict EASY never violates");
+    }
+
+    #[test]
+    fn easy_rejects_backfill_that_would_delay_head() {
+        // Job3 would end at t=2+200=202 > shadow 100 and needs 10 > extra 0.
+        let r = run(
+            vec![
+                job(1, 0, 100, 90, 100),
+                job(2, 1, 100, 100, 100),
+                job(3, 2, 200, 10, 200),
+            ],
+            SimConfig::default(),
+        );
+        assert_eq!(wait_of(&r, 2), 99);
+        // Job 3 cannot start before job 2 (it would delay it): it runs after
+        // job 2 starts at t=100 alongside? Job2 takes all 100 units, so job3
+        // waits for job2's completion at t=200.
+        assert_eq!(wait_of(&r, 3), 198);
+    }
+
+    #[test]
+    fn easy_uses_extra_units_at_shadow() {
+        // Job1: 90 units until 100. Job2 (head): needs 50 ⇒ shadow = 100,
+        // extra = free_at(100) − 50 = 50. Job3: 10 units, long (ends past
+        // shadow) but fits in extra ⇒ backfills.
+        let r = run(
+            vec![
+                job(1, 0, 100, 90, 100),
+                job(2, 1, 100, 50, 100),
+                job(3, 2, 500, 10, 500),
+            ],
+            SimConfig::default(),
+        );
+        assert_eq!(wait_of(&r, 3), 0);
+        // Head still starts at 100 exactly: 90 freed, 10 used by job3,
+        // 50 needed ≤ 100 − 10.
+        assert_eq!(wait_of(&r, 2), 99);
+        assert_eq!(r.metrics.violated_jobs, 0);
+    }
+
+    #[test]
+    fn relaxed_backfilling_allows_bounded_delay() {
+        // Strict EASY rejects job3 (ends past shadow, exceeds extra).
+        // Relaxed with a big factor accepts it, delaying job2.
+        let jobs = vec![
+            job(1, 0, 100, 90, 100),
+            job(2, 1, 100, 100, 100),
+            job(3, 2, 150, 10, 150),
+        ];
+        let strict = run(jobs.clone(), SimConfig::default());
+        assert_eq!(wait_of(&strict, 3), 198);
+
+        let relaxed = run(
+            jobs,
+            SimConfig {
+                relax: Relax::Fixed { factor: 0.9 },
+                ..SimConfig::default()
+            },
+        );
+        // Job3 ends at 2+150 = 152 ≤ shadow 100 + 0.9×(100−1) = 189 ⇒ backfills.
+        assert_eq!(wait_of(&relaxed, 3), 0);
+        // Job2 is delayed until job3 finishes at t=152.
+        assert_eq!(wait_of(&relaxed, 2), 151);
+        assert_eq!(relaxed.metrics.violated_jobs, 1);
+        assert!((relaxed.metrics.violation - 52.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_relaxation_vanishes_on_short_queues() {
+        // Same scenario: with a tiny queue, the adaptive factor ≈ base×(2/2)
+        // is actually full here (queue of 2 equals the running max), so use
+        // more jobs to check it ramps. With an empty history, first block
+        // sets max_queue = qlen so factor = base; to observe a *reduced*
+        // factor we need the queue to shrink later. Simplest check: adaptive
+        // with base 0 behaves strictly.
+        let jobs = vec![
+            job(1, 0, 100, 90, 100),
+            job(2, 1, 100, 100, 100),
+            job(3, 2, 150, 10, 150),
+        ];
+        let adaptive0 = run(
+            jobs,
+            SimConfig {
+                relax: Relax::Adaptive { base: 0.0 },
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(wait_of(&adaptive0, 3), 198);
+        assert_eq!(adaptive0.metrics.violated_jobs, 0);
+    }
+
+    #[test]
+    fn conservative_backfilling_starts_fitting_jobs() {
+        let r = run(
+            vec![
+                job(1, 0, 100, 90, 100),
+                job(2, 1, 100, 100, 100),
+                job(3, 2, 50, 10, 50),
+            ],
+            SimConfig {
+                backfill: Backfill::Conservative,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(wait_of(&r, 3), 0, "harmless job backfills conservatively");
+        assert_eq!(wait_of(&r, 2), 99);
+    }
+
+    #[test]
+    fn sjf_reorders_queue() {
+        let cfg = SimConfig {
+            policy: Policy::Sjf,
+            backfill: Backfill::None,
+            ..SimConfig::default()
+        };
+        // Machine busy until t=100; then SJF picks the shortest first.
+        let r = run(
+            vec![
+                job(1, 0, 100, 100, 100),
+                job(2, 1, 1_000, 100, 1_000),
+                job(3, 2, 10, 100, 10),
+            ],
+            cfg,
+        );
+        assert_eq!(wait_of(&r, 3), 98, "short job starts at t=100");
+        assert_eq!(wait_of(&r, 2), 109, "long job starts after the short one");
+    }
+
+    #[test]
+    fn virtual_clusters_isolate_queues() {
+        // Two VCs; jobs bound to VC with free capacity elsewhere still wait.
+        let mut spec = tiny();
+        spec.virtual_clusters = 2;
+        let mk = |id: u64, submit: i64, vc: u16, procs: u64| {
+            let mut j = job(id, submit, 100, procs, 100);
+            j.virtual_cluster = Some(vc);
+            j
+        };
+        // Zipf(0.5) split of 100: vc0 ≈ 59, vc1 ≈ 41.
+        let trace = Trace::new(
+            spec,
+            vec![mk(1, 0, 1, 40), mk(2, 1, 1, 40), mk(3, 2, 0, 10)],
+        )
+        .unwrap();
+        let r = simulate(&trace, &SimConfig::default());
+        assert_eq!(wait_of(&r, 1), 0);
+        // Job 2 waits for VC1 although VC0 has room.
+        assert!(wait_of(&r, 2) > 0);
+        assert_eq!(wait_of(&r, 3), 0);
+
+        // Without VC isolation it runs immediately.
+        let r2 = simulate(
+            &trace,
+            &SimConfig {
+                respect_virtual_clusters: false,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(wait_of(&r2, 2), 0);
+    }
+
+    #[test]
+    fn util_and_timeline_are_consistent() {
+        let r = run(
+            vec![job(1, 0, 100, 100, 100), job(2, 0, 100, 100, 100)],
+            SimConfig::default(),
+        );
+        // Two full-machine jobs back to back: util = 1 over [0, 200].
+        assert!((r.metrics.util - 1.0).abs() < 1e-9);
+        assert!((r.timeline.mean_util() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_runtime_jobs_complete() {
+        let r = run(
+            vec![job(1, 0, 0, 100, 10), job(2, 0, 10, 100, 10)],
+            SimConfig::default(),
+        );
+        assert_eq!(wait_of(&r, 1), 0);
+        assert_eq!(wait_of(&r, 2), 0);
+    }
+
+    #[test]
+    fn oversized_job_is_clamped_not_stuck() {
+        let mut spec = tiny();
+        spec.virtual_clusters = 2;
+        let mut j = job(1, 0, 10, 90, 10);
+        j.virtual_cluster = Some(1); // VC1 capacity ≈ 41 < 90 ⇒ escalates to VC0
+        let trace = Trace::new(spec, vec![j]).unwrap();
+        let r = simulate(&trace, &SimConfig::default());
+        assert_eq!(wait_of(&r, 1), 0);
+    }
+
+    #[test]
+    fn every_job_gets_scheduled_under_all_configs() {
+        let jobs: Vec<Job> = (0..200)
+            .map(|i| job(i, i64::from(i as u32) * 3, 50 + (i % 7) as i64 * 20, 1 + (i % 30), 200))
+            .collect();
+        for backfill in [Backfill::None, Backfill::Easy, Backfill::Conservative] {
+            for policy in Policy::ALL {
+                let r = run(
+                    jobs.clone(),
+                    SimConfig {
+                        policy,
+                        backfill,
+                        ..SimConfig::default()
+                    },
+                );
+                assert!(r.jobs.iter().all(|j| j.wait.is_some()));
+                assert_eq!(r.jobs.len(), 200);
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the scheduling simulator: conservation,
+//! capacity, and determinism invariants over random workloads.
+
+use lumos_core::{Job, SystemSpec, Trace};
+use lumos_sim::profile::CapacityProfile;
+use lumos_sim::{simulate, Backfill, Policy, Relax, SimConfig};
+use proptest::prelude::*;
+
+fn tiny_system(capacity: u64) -> SystemSpec {
+    let mut s = SystemSpec::theta();
+    s.name = "prop".into();
+    s.total_nodes = capacity as u32;
+    s.units_per_node = 1;
+    s.total_units = capacity;
+    s
+}
+
+fn arb_jobs(capacity: u64) -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(
+        (0i64..5_000, 1i64..2_000, 1..=capacity, 1i64..4_000),
+        1..60,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (submit, runtime, procs, wall))| {
+                let mut j = Job::basic(i as u64, (i % 5) as u32, submit, runtime, procs);
+                j.walltime = Some(runtime + wall);
+                j
+            })
+            .collect()
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (
+        prop_oneof![
+            Just(Policy::Fcfs),
+            Just(Policy::Sjf),
+            Just(Policy::Ljf),
+            Just(Policy::Saf),
+            Just(Policy::Sqf)
+        ],
+        prop_oneof![
+            Just(Backfill::None),
+            Just(Backfill::Easy),
+            Just(Backfill::Conservative)
+        ],
+        prop_oneof![
+            Just(Relax::Strict),
+            Just(Relax::Fixed { factor: 0.1 }),
+            Just(Relax::Adaptive { base: 0.1 })
+        ],
+    )
+        .prop_map(|(policy, backfill, relax)| SimConfig {
+            policy,
+            backfill,
+            relax,
+            ..SimConfig::default()
+        })
+}
+
+/// Verifies the fundamental schedule invariants: every job runs exactly
+/// once, never before submission, and total occupancy never exceeds
+/// capacity at any start instant.
+fn check_schedule(trace: &Trace, config: &SimConfig) -> Result<(), TestCaseError> {
+    let result = simulate(trace, config);
+    prop_assert_eq!(result.jobs.len(), trace.len());
+
+    let mut intervals: Vec<(i64, i64, u64)> = Vec::new();
+    for j in &result.jobs {
+        let wait = j.wait.expect("every job scheduled");
+        prop_assert!(wait >= 0, "job {} started before submission", j.id);
+        let start = j.submit + wait;
+        intervals.push((start, start + j.runtime, j.procs));
+    }
+    // Capacity check at every start instant (occupancy only changes there).
+    let capacity = trace.system.total_units;
+    for &(t, _, _) in &intervals {
+        let used: u64 = intervals
+            .iter()
+            .filter(|&&(s, e, _)| s <= t && t < e)
+            .map(|&(_, _, p)| p)
+            .sum();
+        prop_assert!(
+            used <= capacity,
+            "capacity exceeded at t={t}: {used} > {capacity}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedules_are_feasible(jobs in arb_jobs(50), config in arb_config()) {
+        let trace = Trace::new(tiny_system(50), jobs).unwrap();
+        check_schedule(&trace, &config)?;
+    }
+
+    #[test]
+    fn simulation_is_deterministic(jobs in arb_jobs(50), config in arb_config()) {
+        let trace = Trace::new(tiny_system(50), jobs).unwrap();
+        let a = simulate(&trace, &config);
+        let b = simulate(&trace, &config);
+        prop_assert_eq!(a.jobs, b.jobs);
+    }
+
+    #[test]
+    fn strict_easy_never_violates(jobs in arb_jobs(50)) {
+        let trace = Trace::new(tiny_system(50), jobs).unwrap();
+        let r = simulate(&trace, &SimConfig::default());
+        prop_assert_eq!(r.metrics.violated_jobs, 0);
+    }
+
+    #[test]
+    fn utilization_is_a_fraction(jobs in arb_jobs(50), config in arb_config()) {
+        let trace = Trace::new(tiny_system(50), jobs).unwrap();
+        let r = simulate(&trace, &config);
+        prop_assert!(r.metrics.util >= 0.0);
+        prop_assert!(r.metrics.util <= 1.0 + 1e-9, "util {}", r.metrics.util);
+        prop_assert!(r.metrics.mean_bsld >= 1.0);
+    }
+
+    #[test]
+    fn capacity_profile_reserve_fits_coherence(
+        capacity in 1u64..1_000,
+        from in 0i64..1_000,
+        len in 1i64..1_000,
+        procs in 1u64..1_000,
+    ) {
+        let mut p = CapacityProfile::new(0, capacity);
+        if procs <= capacity {
+            prop_assert!(p.fits(from, from + len, procs));
+            p.reserve(from, from + len, procs);
+            // Remaining capacity inside the window is reduced exactly.
+            prop_assert_eq!(p.free_at(from), capacity - procs);
+            prop_assert_eq!(p.free_at(from + len), capacity);
+            prop_assert!(!p.fits(from, from + len, capacity - procs + 1));
+        } else {
+            prop_assert!(!p.fits(from, from + len, procs));
+        }
+    }
+
+    #[test]
+    fn earliest_fit_result_actually_fits(
+        ends in prop::collection::vec((1i64..500, 1u64..30), 0..10),
+        procs in 1u64..100,
+        duration in 1i64..100,
+    ) {
+        let capacity = 100u64;
+        let in_use: u64 = ends.iter().map(|&(_, p)| p).sum();
+        prop_assume!(in_use <= capacity);
+        let p = CapacityProfile::from_running(0, capacity, &ends);
+        if let Some(t) = p.earliest_fit(0, procs, duration) {
+            prop_assert!(p.fits(t, t + duration, procs));
+            // Minimality at breakpoint granularity: no earlier breakpoint fits.
+            for &(bp, _) in p.points() {
+                if bp < t {
+                    prop_assert!(!p.fits(bp, bp + duration, procs));
+                }
+            }
+        } else {
+            prop_assert!(procs > capacity);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Replay synthetic paper traces through the simulator and check the
+//! system-level behaviours the paper reports (§III.B).
+
+use lumos_core::SystemId;
+use lumos_sim::{simulate, SimConfig};
+use lumos_traces::{systems, Generator, GeneratorConfig};
+
+fn replay(id: SystemId, seed: u64, days: u32) -> lumos_sim::SimResult {
+    let trace = Generator::new(
+        systems::profile_for(id),
+        GeneratorConfig {
+            seed,
+            span_days: days,
+            ..GeneratorConfig::default()
+        },
+    )
+    .generate();
+    simulate(&trace, &SimConfig::default())
+}
+
+#[test]
+fn all_systems_replay_to_completion() {
+    for id in SystemId::PAPER_SYSTEMS {
+        let r = replay(id, 11, 1);
+        assert!(r.jobs.iter().all(|j| j.wait.is_some()), "{id:?}");
+        assert!(r.metrics.util > 0.0, "{id:?} util {}", r.metrics.util);
+        assert!(r.metrics.util <= 1.0 + 1e-9, "{id:?} util {}", r.metrics.util);
+    }
+}
+
+#[test]
+fn replay_is_deterministic() {
+    let a = replay(SystemId::Theta, 3, 2);
+    let b = replay(SystemId::Theta, 3, 2);
+    assert_eq!(a.jobs, b.jobs);
+    assert_eq!(a.metrics, b.metrics);
+}
+
+#[test]
+fn helios_waits_are_short_and_blue_waters_waits_are_long() {
+    let helios = replay(SystemId::Helios, 5, 2);
+    let bw = replay(SystemId::BlueWaters, 5, 2);
+    // Paper Fig. 4: ~80 % of Helios jobs wait < 10 s; BW median wait ≳ 1 h.
+    let helios_short = helios
+        .jobs
+        .iter()
+        .filter(|j| j.wait.unwrap() <= 10)
+        .count() as f64
+        / helios.jobs.len() as f64;
+    assert!(helios_short > 0.6, "Helios short-wait share {helios_short}");
+    assert!(
+        bw.metrics.median_wait > helios.metrics.median_wait,
+        "BW median {} vs Helios {}",
+        bw.metrics.median_wait,
+        helios.metrics.median_wait
+    );
+}
+
+#[test]
+fn philly_utilization_is_lowest_among_dl_systems() {
+    let philly = replay(SystemId::Philly, 7, 2);
+    // Paper Fig. 3: Philly's virtual-cluster isolation keeps utilization
+    // low even with jobs waiting.
+    assert!(
+        philly.metrics.util < 0.8,
+        "Philly util {}",
+        philly.metrics.util
+    );
+}

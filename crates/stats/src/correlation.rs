@@ -1,0 +1,106 @@
+//! Pearson and Spearman correlation coefficients.
+//!
+//! Used by the failure-vs-geometry analyses (§IV.B) and generator
+//! calibration tests.
+
+/// Pearson product-moment correlation. Returns `None` when either input has
+/// zero variance or the slices differ in length / are shorter than 2.
+#[must_use]
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Mid-ranks (average ranks for ties), 1-based.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaN in ranks"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on mid-ranks). Same `None` conditions
+/// as [`pearson`].
+#[must_use]
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    pearson(&ranks(x), &ranks(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_invariant_to_monotone_transform() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|&v| f64::exp(v)).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        // Pearson is not 1 for a convex transform.
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn zero_variance_is_none() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn mismatched_lengths_none() {
+        assert_eq!(pearson(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(spearman(&[1.0, 2.0, 3.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

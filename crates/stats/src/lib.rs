@@ -1,0 +1,38 @@
+//! # lumos-stats
+//!
+//! Statistics substrate for the `lumos-rs` workspace: everything the
+//! characterization analyses, trace generators, simulator, and prediction
+//! models need, implemented from scratch:
+//!
+//! * [`rng::Rng`] — deterministic xoshiro256++ PRNG seeded via SplitMix64,
+//! * [`dist`] — inverse-transform / Box–Muller samplers (exponential,
+//!   log-normal, Pareto, Weibull, uniform, discrete, mixtures),
+//! * [`ecdf::Ecdf`] — empirical CDFs with interpolated quantiles,
+//! * [`quantile`] — type-7 quantiles on slices,
+//! * [`histogram`] — linear and logarithmic histograms,
+//! * [`kde`] — Gaussian kernel density estimates (violin plots, Figs. 1a & 11),
+//! * [`summary::Summary`] — Welford streaming moments,
+//! * [`correlation`] — Pearson and Spearman coefficients.
+//!
+//! All randomness in the workspace flows through [`rng::Rng`] so that a
+//! `u64` seed fully determines every trace, simulation, and model fit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod dist;
+pub mod ecdf;
+pub mod histogram;
+pub mod kde;
+pub mod quantile;
+pub mod rng;
+pub mod summary;
+
+pub use dist::{Discrete, Exponential, LogNormal, Mixture, Pareto, Sampler, Uniform, Weibull};
+pub use ecdf::Ecdf;
+pub use histogram::{Histogram, LogHistogram};
+pub use kde::{Kde, ViolinSummary};
+pub use quantile::{median, quantile, quantiles};
+pub use rng::Rng;
+pub use summary::Summary;

@@ -1,0 +1,92 @@
+//! Property-based tests for the statistics substrate.
+
+use lumos_stats::{quantile, quantiles, Ecdf, Rng, Summary};
+use proptest::prelude::*;
+
+fn finite_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e9f64..1e9, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn quantile_is_within_sample_bounds(xs in finite_vec(), p in 0.0f64..=1.0) {
+        let q = quantile(&xs, p);
+        let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(q >= min - 1e-9 && q <= max + 1e-9, "q={q} not in [{min},{max}]");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_p(xs in finite_vec(), a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let qs = quantiles(&xs, &[lo, hi]);
+        prop_assert!(qs[0] <= qs[1] + 1e-9);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded(xs in finite_vec(), probe in -1e9f64..1e9) {
+        let e = Ecdf::new(xs);
+        let f = e.eval(probe);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(e.eval(probe + 1.0) >= f);
+        prop_assert_eq!(e.eval(e.max()), 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantile_roundtrip(xs in finite_vec(), p in 0.01f64..=0.99) {
+        // F(quantile(p)) >= p (up to the step granularity of 1/n).
+        let e = Ecdf::new(xs);
+        let q = e.quantile(p);
+        prop_assert!(e.eval(q) + 1.0 / e.len() as f64 >= p - 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential(xs in finite_vec(), split in 0usize..200) {
+        let cut = split.min(xs.len());
+        let whole = Summary::of(&xs);
+        let mut left = Summary::of(&xs[..cut]);
+        left.merge(&Summary::of(&xs[cut..]));
+        prop_assert_eq!(whole.count(), left.count());
+        let scale = whole.mean().abs().max(1.0);
+        prop_assert!((whole.mean() - left.mean()).abs() / scale < 1e-9);
+        let vscale = whole.variance().abs().max(1.0);
+        prop_assert!((whole.variance() - left.variance()).abs() / vscale < 1e-6);
+    }
+
+    #[test]
+    fn summary_bounds_hold(xs in finite_vec()) {
+        let s = Summary::of(&xs);
+        let min = s.min().unwrap();
+        let max = s.max().unwrap();
+        prop_assert!(min <= s.mean() + 1e-9 && s.mean() <= max + 1e-9);
+        prop_assert!(s.variance() >= 0.0);
+    }
+
+    #[test]
+    fn rng_next_below_is_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_forks_are_deterministic(seed in any::<u64>(), stream in any::<u64>()) {
+        let base = Rng::new(seed);
+        let mut a = base.fork(stream);
+        let mut b = base.fork(stream);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ks_statistic_is_a_metricish_bound(xs in finite_vec(), ys in finite_vec()) {
+        let a = Ecdf::new(xs);
+        let b = Ecdf::new(ys);
+        let d = a.ks_statistic(&b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((a.ks_statistic(&a)).abs() < 1e-12);
+        prop_assert!((d - b.ks_statistic(&a)).abs() < 1e-12, "symmetric");
+    }
+}

@@ -1,0 +1,263 @@
+//! Standard Workload Format (SWF) I/O.
+//!
+//! The Parallel Workloads Archive distributes traces (including ones for
+//! systems studied by the paper) in SWF: one job per line, 18 whitespace-
+//! separated integer fields, `;`-prefixed header comments. This module
+//! reads SWF text into [`Trace`] and writes traces back out, so real traces
+//! can replace the synthetic generators everywhere in the workspace.
+//!
+//! Field mapping (1-based SWF field → [`Job`]):
+//!
+//! | SWF | Meaning            | Job field |
+//! |-----|--------------------|-----------|
+//! | 1   | job number         | `id`      |
+//! | 2   | submit time        | `submit`  |
+//! | 3   | wait time          | `wait` (−1 ⇒ `None`) |
+//! | 4   | run time           | `runtime` (−1 ⇒ 0) |
+//! | 5   | allocated procs    | `procs` (falls back to field 8) |
+//! | 8   | requested procs    | fallback for `procs` |
+//! | 9   | requested time     | `walltime` (−1 ⇒ `None`) |
+//! | 11  | status             | 1 ⇒ Passed, 5 ⇒ Killed, else Failed |
+//! | 12  | user id            | `user` |
+//! | 16  | partition          | `virtual_cluster` (−1 ⇒ `None`) |
+//!
+//! [`Trace`]: lumos_core::Trace
+//! [`Job`]: lumos_core::Job
+
+use lumos_core::{CoreError, Job, JobStatus, Result, SystemSpec, Trace};
+
+/// Parses SWF text into a trace running on `system`.
+///
+/// A `MaxProcs:` header comment, when present, overrides
+/// `system.total_units` so capacity checks match the archive's metadata.
+///
+/// # Errors
+/// Returns [`CoreError::Parse`] for malformed lines and the usual
+/// [`Trace::new`] validation errors.
+pub fn parse(text: &str, system: SystemSpec) -> Result<Trace> {
+    let mut system = system;
+    let mut jobs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix(';') {
+            if let Some(v) = header_value(comment, "MaxProcs") {
+                system.total_units = v;
+            }
+            if let Some(v) = header_value(comment, "MaxNodes") {
+                system.total_nodes = v as u32;
+            }
+            continue;
+        }
+        jobs.push(parse_line(line, lineno + 1, &system)?);
+    }
+    // A header override can make total_units exceed the node count the spec
+    // was built with; grow the node count to keep the spec self-consistent.
+    let derived = u64::from(system.total_nodes) * u64::from(system.units_per_node);
+    if system.total_units > derived {
+        system.total_nodes = system
+            .total_units
+            .div_ceil(u64::from(system.units_per_node))
+            .min(u64::from(u32::MAX)) as u32;
+    }
+    Trace::new(system, jobs)
+}
+
+fn header_value(comment: &str, key: &str) -> Option<u64> {
+    let rest = comment.trim().strip_prefix(key)?;
+    let rest = rest.trim_start().strip_prefix(':')?;
+    rest.split_whitespace().next()?.parse().ok()
+}
+
+fn parse_line(line: &str, lineno: usize, system: &SystemSpec) -> Result<Job> {
+    let fields: Vec<i64> = line
+        .split_whitespace()
+        .map(|f| {
+            f.parse::<i64>().map_err(|_| CoreError::Parse {
+                line: lineno,
+                message: format!("non-integer field `{f}`"),
+            })
+        })
+        .collect::<Result<_>>()?;
+    if fields.len() < 12 {
+        return Err(CoreError::Parse {
+            line: lineno,
+            message: format!("expected ≥12 fields, found {}", fields.len()),
+        });
+    }
+
+    let alloc = fields[4];
+    let requested = fields[7];
+    let procs = if alloc > 0 {
+        alloc
+    } else if requested > 0 {
+        requested
+    } else {
+        return Err(CoreError::Parse {
+            line: lineno,
+            message: "no positive processor count in fields 5 or 8".into(),
+        });
+    } as u64;
+
+    let status = match fields[10] {
+        1 => JobStatus::Passed,
+        5 => JobStatus::Killed,
+        _ => JobStatus::Failed,
+    };
+
+    let units_per_node = u64::from(system.units_per_node).max(1);
+    let partition = fields.get(15).copied().unwrap_or(-1);
+
+    Ok(Job {
+        id: fields[0].max(0) as u64,
+        user: fields[11].max(0) as u32,
+        submit: fields[1],
+        wait: (fields[2] >= 0).then_some(fields[2]),
+        runtime: fields[3].max(0),
+        walltime: (fields[8] > 0).then_some(fields[8]),
+        procs,
+        nodes: procs.div_ceil(units_per_node).max(1) as u32,
+        status,
+        virtual_cluster: (partition >= 0).then_some(partition as u16),
+    })
+}
+
+/// Serialises a trace to SWF text, including a small header.
+#[must_use]
+pub fn write(trace: &Trace) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(trace.len() * 64 + 256);
+    let _ = writeln!(out, "; Computer: {}", trace.system.name);
+    let _ = writeln!(out, "; MaxNodes: {}", trace.system.total_nodes);
+    let _ = writeln!(out, "; MaxProcs: {}", trace.system.total_units);
+    let _ = writeln!(out, "; Note: written by lumos-traces");
+    for j in trace.jobs() {
+        let status = match j.status {
+            JobStatus::Passed => 1,
+            JobStatus::Failed => 0,
+            JobStatus::Killed => 5,
+        };
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {} -1 -1 {} {} -1 {} {} -1 -1 -1 {} -1 -1",
+            j.id,
+            j.submit,
+            j.wait.unwrap_or(-1),
+            j.runtime,
+            j.procs,
+            j.procs,
+            j.walltime.unwrap_or(-1),
+            status,
+            j.user,
+            j.virtual_cluster.map_or(-1, i64::from),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_core::SystemId;
+
+    fn sys() -> SystemSpec {
+        SystemSpec::theta()
+    }
+
+    #[test]
+    fn parses_minimal_line() {
+        let text = "1 100 5 3600 64 -1 -1 64 7200 -1 1 3 -1 -1 -1 -1 -1 -1\n";
+        let t = parse(text, sys()).unwrap();
+        assert_eq!(t.len(), 1);
+        let j = &t.jobs()[0];
+        assert_eq!(j.id, 1);
+        assert_eq!(j.submit, 100);
+        assert_eq!(j.wait, Some(5));
+        assert_eq!(j.runtime, 3600);
+        assert_eq!(j.procs, 64);
+        assert_eq!(j.walltime, Some(7200));
+        assert_eq!(j.status, JobStatus::Passed);
+        assert_eq!(j.user, 3);
+        assert_eq!(j.virtual_cluster, None);
+    }
+
+    #[test]
+    fn status_codes_map_to_trichotomy() {
+        let mk = |code: i64| {
+            let text = format!("1 0 0 10 1 -1 -1 1 -1 -1 {code} 1 -1 -1 -1 -1 -1 -1");
+            parse(&text, sys()).unwrap().jobs()[0].status
+        };
+        assert_eq!(mk(1), JobStatus::Passed);
+        assert_eq!(mk(5), JobStatus::Killed);
+        assert_eq!(mk(0), JobStatus::Failed);
+        assert_eq!(mk(-1), JobStatus::Failed);
+    }
+
+    #[test]
+    fn header_maxprocs_overrides_capacity() {
+        let text = "; MaxProcs: 999999\n1 0 0 10 500000 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1\n";
+        let t = parse(text, sys()).unwrap();
+        assert_eq!(t.system.total_units, 999_999);
+        assert_eq!(t.jobs()[0].procs, 500_000);
+    }
+
+    #[test]
+    fn negative_wait_becomes_none() {
+        let text = "1 0 -1 10 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1";
+        let t = parse(text, sys()).unwrap();
+        assert_eq!(t.jobs()[0].wait, None);
+    }
+
+    #[test]
+    fn falls_back_to_requested_procs() {
+        let text = "1 0 0 10 -1 -1 -1 128 -1 -1 1 1 -1 -1 -1 -1 -1 -1";
+        let t = parse(text, sys()).unwrap();
+        assert_eq!(t.jobs()[0].procs, 128);
+    }
+
+    #[test]
+    fn rejects_short_lines() {
+        let err = parse("1 2 3", sys()).unwrap_err();
+        assert!(matches!(err, CoreError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_garbage_fields() {
+        let err = parse("1 0 0 ten 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1", sys()).unwrap_err();
+        assert!(matches!(err, CoreError::Parse { .. }));
+    }
+
+    #[test]
+    fn roundtrip_preserves_jobs() {
+        let profile = crate::systems::profile_for(SystemId::Theta);
+        let trace = crate::Generator::new(
+            profile,
+            crate::GeneratorConfig {
+                seed: 11,
+                span_days: 1,
+                ..Default::default()
+            },
+        )
+        .generate();
+        let text = write(&trace);
+        let back = parse(&text, SystemSpec::theta()).unwrap();
+        assert_eq!(trace.len(), back.len());
+        for (a, b) in trace.jobs().iter().zip(back.jobs()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.submit, b.submit);
+            assert_eq!(a.runtime, b.runtime);
+            assert_eq!(a.procs, b.procs);
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.walltime, b.walltime);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "; Computer: X\n\n; UnixStartTime: 0\n1 0 0 10 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1\n";
+        assert_eq!(parse(text, sys()).unwrap().len(), 1);
+    }
+}

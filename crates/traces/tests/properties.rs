@@ -1,0 +1,104 @@
+//! Property-based tests for the workload substrate: generator invariants
+//! and SWF round-trips over random jobs.
+
+use lumos_core::{Job, JobStatus, SystemId, SystemSpec, Trace};
+use lumos_traces::{swf, systems, Generator, GeneratorConfig};
+use proptest::prelude::*;
+
+fn arb_system() -> impl Strategy<Value = SystemId> {
+    prop_oneof![
+        Just(SystemId::Mira),
+        Just(SystemId::Theta),
+        Just(SystemId::BlueWaters),
+        Just(SystemId::Philly),
+        Just(SystemId::Helios),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_traces_satisfy_global_invariants(id in arb_system(), seed in any::<u64>()) {
+        let trace = Generator::new(
+            systems::profile_for(id),
+            GeneratorConfig { seed, span_days: 1, ..GeneratorConfig::default() },
+        )
+        .generate();
+        let capacity = trace.system.total_units;
+        let mut prev = i64::MIN;
+        for j in trace.jobs() {
+            prop_assert!(j.submit >= prev, "sorted by submit");
+            prev = j.submit;
+            prop_assert!(j.submit >= 0 && j.submit < 86_400);
+            prop_assert!(j.procs >= 1 && j.procs <= capacity);
+            prop_assert!(j.runtime >= 1);
+            prop_assert!(j.wait.is_none(), "generator leaves waits to the simulator");
+            if let Some(wt) = j.walltime {
+                prop_assert!(wt >= 60);
+                prop_assert!(j.runtime <= wt, "no job outlives its walltime");
+            }
+            if j.status == JobStatus::Passed {
+                if let Some(wt) = j.walltime {
+                    prop_assert!(wt >= j.runtime);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_seed(id in arb_system(), seed in any::<u64>()) {
+        let make = || Generator::new(
+            systems::profile_for(id),
+            GeneratorConfig { seed, span_days: 1, ..GeneratorConfig::default() },
+        ).generate();
+        let (a, b) = (make(), make());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn swf_roundtrip_random_jobs(
+        raw in prop::collection::vec(
+            (0i64..100_000, 0i64..100_000, 1u64..281_088, 0u32..50, 0u8..3),
+            1..100,
+        )
+    ) {
+        let jobs: Vec<Job> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (submit, runtime, procs, user, status))| {
+                let mut j = Job::basic(i as u64, user, submit, runtime, procs);
+                j.status = match status {
+                    0 => JobStatus::Passed,
+                    1 => JobStatus::Failed,
+                    _ => JobStatus::Killed,
+                };
+                j
+            })
+            .collect();
+        let trace = Trace::new(SystemSpec::theta(), jobs).unwrap();
+        let text = swf::write(&trace);
+        let back = swf::parse(&text, SystemSpec::theta()).unwrap();
+        prop_assert_eq!(trace.len(), back.len());
+        for (a, b) in trace.jobs().iter().zip(back.jobs()) {
+            prop_assert_eq!(a.submit, b.submit);
+            // SWF has no zero-runtime marker ambiguity: runtimes of 0 stay 0.
+            prop_assert_eq!(a.runtime, b.runtime);
+            prop_assert_eq!(a.procs, b.procs);
+            prop_assert_eq!(a.status, b.status);
+            prop_assert_eq!(a.user, b.user);
+        }
+    }
+
+    #[test]
+    fn load_scale_monotonically_adds_jobs(id in arb_system(), seed in any::<u64>()) {
+        let gen = |scale: f64| Generator::new(
+            systems::profile_for(id),
+            GeneratorConfig { seed, span_days: 1, load_scale: scale, ..GeneratorConfig::default() },
+        ).generate().len() as f64;
+        let half = gen(0.5);
+        let full = gen(1.0);
+        // Poisson noise allows slack; the ordering must still be clear.
+        prop_assert!(full > half * 1.2, "full={full} half={half}");
+    }
+}

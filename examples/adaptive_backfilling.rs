@@ -1,0 +1,69 @@
+//! Use Case 2 (paper §VI.B): adaptive relaxed backfilling.
+//!
+//! Relaxed backfilling (Ward et al.) lets backfill candidates delay a
+//! reserved job by up to `factor × expected_wait`, unlocking more backfill
+//! opportunities at the cost of reservation violations. The paper's
+//! adaptive variant (Eq. 1) scales the factor by live queue pressure
+//! (`base × queue_len / max_queue_len`), relaxing exactly when users are
+//! submitting the small short jobs that backfill well (Takeaway 8).
+//!
+//! This example regenerates Table II: strict vs fixed-relaxed vs adaptive
+//! on Blue Waters, Mira, and Theta.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_backfilling
+//! ```
+
+use lumos_core::SystemId;
+use lumos_sim::{simulate, Relax, SimConfig};
+use lumos_traces::{systems, Generator, GeneratorConfig};
+
+fn main() {
+    for id in [SystemId::BlueWaters, SystemId::Mira, SystemId::Theta] {
+        // HPC arrivals are minutes apart, so give the sparse systems a
+        // longer window for stable statistics.
+        let days = match id {
+            SystemId::BlueWaters => 2,
+            _ => 16,
+        };
+        let trace = Generator::new(
+            systems::profile_for(id),
+            GeneratorConfig {
+                seed: 2024,
+                span_days: days,
+                ..GeneratorConfig::default()
+            },
+        )
+        .generate();
+
+        println!("== {} ({} jobs, {} days) ==", id.name(), trace.len(), days);
+        println!(
+            "{:<14} {:>12} {:>8} {:>8} {:>12} {:>10}",
+            "relaxation", "mean wait", "bsld", "util", "violation", "violated"
+        );
+        for (name, relax) in [
+            ("strict", Relax::Strict),
+            ("fixed 10%", Relax::Fixed { factor: 0.10 }),
+            ("adaptive 10%", Relax::Adaptive { base: 0.10 }),
+        ] {
+            let cfg = SimConfig {
+                relax,
+                ..SimConfig::default()
+            };
+            let m = simulate(&trace, &cfg).metrics;
+            println!(
+                "{:<14} {:>11.0}s {:>8.2} {:>7.1}% {:>11.1}s {:>10}",
+                name,
+                m.mean_wait,
+                m.mean_bsld,
+                m.util * 100.0,
+                m.violation,
+                m.violated_jobs,
+            );
+        }
+        println!();
+    }
+    println!("Expected shape (paper Table II): the adaptive variant keeps the");
+    println!("wait/bsld/util benefits of fixed relaxing while cutting the");
+    println!("violation metric substantially (paper: 5-49% across systems).");
+}

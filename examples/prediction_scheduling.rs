@@ -1,0 +1,74 @@
+//! Prediction-driven backfilling: close the loop the paper's §VI.A opens
+//! ("schedulers may reversely predict job run time, which is helpful in
+//! making effective scheduling decisions").
+//!
+//! The same Theta workload is replayed under SJF + EASY backfilling with
+//! three sources of planning walltimes:
+//!
+//! 1. the users' own requests (the baseline schedulers actually have),
+//! 2. Last2 system-generated predictions (Tsafrir et al.), and
+//! 3. a perfect oracle (actual runtimes).
+//!
+//! Tighter estimates let backfilling pack more jobs into reservation
+//! holes; the oracle bounds what any predictor can buy.
+//!
+//! ```sh
+//! cargo run --release --example prediction_scheduling
+//! ```
+
+use lumos_core::SystemId;
+use lumos_predict::walltime::{last2_walltimes, perfect_walltimes, user_walltimes};
+use lumos_sim::{simulate_with_walltimes, Policy, SimConfig};
+use lumos_traces::{systems, Generator, GeneratorConfig};
+
+fn main() {
+    let trace = Generator::new(
+        systems::profile_for(SystemId::Theta),
+        GeneratorConfig {
+            seed: 13,
+            span_days: 10,
+            ..GeneratorConfig::default()
+        },
+    )
+    .generate();
+    println!(
+        "workload: {} jobs over 10 days on {}\n",
+        trace.len(),
+        trace.system.name
+    );
+
+    let cfg = SimConfig {
+        policy: Policy::Sjf,
+        ..SimConfig::default()
+    };
+    let variants: [(&str, Vec<i64>); 4] = [
+        ("user walltimes", user_walltimes(&trace, 1.5)),
+        ("Last2 x1.5", last2_walltimes(&trace, 1.5)),
+        ("Last2 x4", last2_walltimes(&trace, 4.0)),
+        ("perfect oracle", perfect_walltimes(&trace)),
+    ];
+
+    println!(
+        "{:<16} {:>12} {:>10} {:>8} {:>12}",
+        "estimates", "mean wait", "bsld", "util", "p90 wait"
+    );
+    for (name, walltimes) in &variants {
+        let m = simulate_with_walltimes(&trace, &cfg, walltimes).metrics;
+        println!(
+            "{:<16} {:>11.0}s {:>10.2} {:>7.1}% {:>11.0}s",
+            name,
+            m.mean_wait,
+            m.mean_bsld,
+            m.util * 100.0,
+            m.p90_wait,
+        );
+    }
+
+    println!("\nExpected shape: the oracle bounds what estimates can buy, and a");
+    println!("*small* safety margin hurts — naive Last2 underestimates often");
+    println!("(failed reruns drag user histories down), and underestimated");
+    println!("walltimes wreck backfill plans. That asymmetry is exactly why the");
+    println!("paper's §VI.A optimizes the underestimate rate first, and why its");
+    println!("elapsed-time feature (which slashes underestimates, Fig. 12) is");
+    println!("the right input for prediction-driven scheduling.");
+}

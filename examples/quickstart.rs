@@ -1,0 +1,73 @@
+//! Quickstart: generate a synthetic cluster trace, replay it through the
+//! scheduler simulator, and print the headline characterization numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lumos_analysis::analyze_system;
+use lumos_core::SystemId;
+use lumos_traces::{systems, Generator, GeneratorConfig};
+
+fn main() {
+    // 1. Pick one of the five calibrated paper systems (or build your own
+    //    `SystemProfile`) and generate a deterministic synthetic trace.
+    let profile = systems::profile_for(SystemId::Helios);
+    let trace = Generator::new(
+        profile,
+        GeneratorConfig {
+            seed: 42,
+            span_days: 2,
+            ..GeneratorConfig::default()
+        },
+    )
+    .generate();
+    println!(
+        "generated {} jobs from {} users on {}",
+        trace.len(),
+        trace.users().len(),
+        trace.system.name
+    );
+
+    // 2. Run the full characterization: this replays the trace through the
+    //    `lumos-sim` scheduler (FCFS + EASY backfilling) to obtain waits,
+    //    then computes every per-figure analysis of the paper.
+    let analysis = analyze_system(&trace);
+
+    println!("\n-- geometries (paper Fig. 1) --");
+    println!("median runtime      : {:.0} s", analysis.runtime.median);
+    println!("median arrival gap  : {:.1} s", analysis.arrival.median_interval);
+    println!(
+        "single-GPU jobs     : {:.1} %",
+        analysis.resources.single_unit_share * 100.0
+    );
+
+    println!("\n-- scheduling (paper Figs. 3-5) --");
+    println!("utilization         : {:.1} %", analysis.utilization.window_util * 100.0);
+    println!("mean wait           : {:.0} s", analysis.waiting.mean_wait);
+    println!(
+        "jobs waiting <= 10 s: {:.1} %",
+        analysis.waiting.under_10s_share * 100.0
+    );
+
+    println!("\n-- failures (paper Fig. 6) --");
+    let f = &analysis.failures.overall;
+    println!(
+        "passed/failed/killed: {:.0}% / {:.0}% / {:.0}% of jobs",
+        f.count_shares[0] * 100.0,
+        f.count_shares[1] * 100.0,
+        f.count_shares[2] * 100.0
+    );
+    println!(
+        "  ... but by core-hours: {:.0}% / {:.0}% / {:.0}%",
+        f.core_hour_shares[0] * 100.0,
+        f.core_hour_shares[1] * 100.0,
+        f.core_hour_shares[2] * 100.0
+    );
+
+    println!("\n-- user behaviour (paper Fig. 8) --");
+    println!(
+        "top-10 resource-config groups cover {:.0}% of a heavy user's jobs",
+        analysis.user_groups.cumulative[9] * 100.0
+    );
+}

@@ -1,0 +1,56 @@
+//! Use Case 1 (paper §VI.A): predict job runtimes with and without the
+//! elapsed-time feature and show the underestimate-rate reduction.
+//!
+//! ```sh
+//! cargo run --release --example runtime_prediction
+//! ```
+
+use lumos_core::SystemId;
+use lumos_predict::evaluate_trace;
+use lumos_traces::{systems, Generator, GeneratorConfig};
+
+fn main() {
+    let trace = Generator::new(
+        systems::profile_for(SystemId::Philly),
+        GeneratorConfig {
+            seed: 11,
+            span_days: 2,
+            ..GeneratorConfig::default()
+        },
+    )
+    .generate();
+    println!(
+        "predicting runtimes for {} Philly jobs (chronological 60/40 split)\n",
+        trace.len()
+    );
+
+    // Evaluate every model at elapsed points of 1/8, 1/4, 1/2 of the mean
+    // runtime — the Fig. 12 grid.
+    let rows = evaluate_trace(&trace, &[0.125, 0.25, 0.5], 20_000);
+
+    println!(
+        "{:<8} {:>8} | {:>13} {:>10} | {:>13} {:>10}",
+        "model", "elapsed", "underest base", "with elaps", "accuracy base", "with elaps"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>7.0}s | {:>13.3} {:>10.3} | {:>13.3} {:>10.3}",
+            r.model.name(),
+            r.elapsed_seconds,
+            r.without.underestimate_rate,
+            r.with_elapsed.underestimate_rate,
+            r.without.accuracy,
+            r.with_elapsed.accuracy,
+        );
+    }
+
+    // Aggregate story, as in the paper's summary of Fig. 12.
+    let n = rows.len() as f64;
+    let before: f64 = rows.iter().map(|r| r.without.underestimate_rate).sum::<f64>() / n;
+    let after: f64 = rows.iter().map(|r| r.with_elapsed.underestimate_rate).sum::<f64>() / n;
+    println!(
+        "\nmean underestimate rate: {before:.3} -> {after:.3} \
+         ({:.0}% reduction) once elapsed time is considered",
+        (before - after) / before * 100.0
+    );
+}

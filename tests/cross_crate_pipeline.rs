@@ -1,0 +1,53 @@
+//! End-to-end pipeline test: generate → simulate → analyze, across crates.
+
+use lumos_analysis::{analyze_suite, takeaways};
+use lumos_traces::generate_paper_suite;
+
+#[test]
+fn generate_simulate_analyze_all_five_systems() {
+    let traces = generate_paper_suite(1234, 1);
+    assert_eq!(traces.len(), 5);
+    let analyses = analyze_suite(&traces);
+    assert_eq!(analyses.len(), 5);
+    for a in &analyses {
+        assert!(a.overview.job_count > 30, "{}", a.system);
+        assert!(a.runtime.median > 0.0, "{}", a.system);
+        assert!(a.utilization.window_util > 0.0, "{}", a.system);
+        assert!(
+            (0.0..=1.0).contains(&a.failures.overall.count_shares[0]),
+            "{}",
+            a.system
+        );
+        // The waiting analysis proves the replay filled every wait.
+        assert!(a.waiting.mean_wait >= 0.0);
+        // Serialization contract for the CLI.
+        serde_json::to_string(a).expect("analysis serializes");
+    }
+}
+
+#[test]
+fn takeaways_evaluate_on_the_suite() {
+    let traces = generate_paper_suite(1234, 1);
+    let analyses = analyze_suite(&traces);
+    let ts = takeaways::evaluate(&analyses);
+    assert_eq!(ts.len(), 8);
+    for t in &ts {
+        assert!(!t.evidence.is_empty());
+    }
+    // The core cross-system contrasts must hold even on a 1-day window.
+    let by_id = |id: u8| ts.iter().find(|t| t.id == id).expect("takeaway exists");
+    assert!(by_id(1).holds, "T1: {}", by_id(1).evidence);
+    assert!(by_id(3).holds, "T3: {}", by_id(3).evidence);
+    assert!(by_id(7).holds, "T7: {}", by_id(7).evidence);
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let a = analyze_suite(&generate_paper_suite(77, 1));
+    let b = analyze_suite(&generate_paper_suite(77, 1));
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.overview.job_count, y.overview.job_count);
+        assert_eq!(x.waiting.mean_wait, y.waiting.mean_wait);
+        assert_eq!(x.failures.overall.counts, y.failures.overall.counts);
+    }
+}

@@ -1,0 +1,215 @@
+//! Paper-shape assertions: the qualitative cross-system facts the paper
+//! reports, verified on the synthetic suite. These are the contracts the
+//! calibration must keep (EXPERIMENTS.md records the quantitative
+//! comparison; these tests pin the *orderings and contrasts*).
+
+use lumos_analysis::{analyze_suite, SystemAnalysis};
+use lumos_traces::generate_paper_suite;
+use std::sync::OnceLock;
+
+/// The replayed-and-analyzed suite is expensive (minutes of simulation);
+/// compute it once per test process.
+fn suite() -> &'static [SystemAnalysis] {
+    static SUITE: OnceLock<Vec<SystemAnalysis>> = OnceLock::new();
+    SUITE.get_or_init(|| analyze_suite(&generate_paper_suite(2024, 2)))
+}
+
+fn get<'a>(analyses: &'a [SystemAnalysis], name: &str) -> &'a SystemAnalysis {
+    analyses
+        .iter()
+        .find(|a| a.system == name)
+        .unwrap_or_else(|| panic!("system {name} missing"))
+}
+
+#[test]
+fn fig1a_runtime_ordering_and_diversity() {
+    let a = suite();
+    let (mira, bw) = (get(a, "Mira"), get(a, "Blue Waters"));
+    let (philly, helios) = (get(a, "Philly"), get(a, "Helios"));
+    // Median runtimes: Mira/BW ≈ 1.5 h ≫ Philly ≈ minutes ≫ Helios ≈ 90 s.
+    assert!(mira.runtime.median > 3_000.0, "Mira {}", mira.runtime.median);
+    assert!(bw.runtime.median > 2_000.0, "BW {}", bw.runtime.median);
+    assert!(
+        philly.runtime.median < mira.runtime.median / 3.0,
+        "Philly {}",
+        philly.runtime.median
+    );
+    assert!(helios.runtime.median < 300.0, "Helios {}", helios.runtime.median);
+    // DL runtimes span more orders of magnitude than classic HPC.
+    let spread = |s: &SystemAnalysis| (s.runtime.max / s.runtime.min.max(1.0)).log10();
+    assert!(spread(helios) > spread(mira));
+}
+
+#[test]
+fn fig1b_arrival_density_split() {
+    let a = suite();
+    // HPC arrivals are ≥10× sparser than DL/hybrid arrivals.
+    let mira = get(a, "Mira").arrival.mean_interval;
+    let theta = get(a, "Theta").arrival.mean_interval;
+    let bw = get(a, "Blue Waters").arrival.mean_interval;
+    let helios = get(a, "Helios").arrival.mean_interval;
+    assert!(mira > 10.0 * bw, "Mira {mira} vs BW {bw}");
+    assert!(theta > 10.0 * helios, "Theta {theta} vs Helios {helios}");
+    // Helios has a strong diurnal peak; Philly's is much flatter.
+    let helios_ratio = get(a, "Helios").arrival.hourly_max_min_ratio.unwrap();
+    let philly_ratio = get(a, "Philly").arrival.hourly_max_min_ratio.unwrap();
+    assert!(helios_ratio > 2.0 * philly_ratio);
+}
+
+#[test]
+fn fig1c_resource_request_split() {
+    let a = suite();
+    // ~80 % of DL jobs use one GPU; >50 % of Mira jobs exceed 1,000 cores.
+    for name in ["Philly", "Helios"] {
+        let share = get(a, name).resources.single_unit_share;
+        assert!((0.7..=0.95).contains(&share), "{name} single-GPU {share}");
+    }
+    assert!(get(a, "Mira").resources.over_1000_share > 0.5);
+    // Blue Waters sits in the middle: small median, nearly no 1-core jobs
+    // beyond its debug mode.
+    let bw = get(a, "Blue Waters").resources.median_procs;
+    assert!((4.0..=512.0).contains(&bw), "BW median procs {bw}");
+}
+
+#[test]
+fn fig2_dominating_groups_shift() {
+    let a = suite();
+    // Small jobs dominate Blue Waters core-hours (>70 %); on Helios they
+    // carry almost nothing (<15 %).
+    assert!(get(a, "Blue Waters").domination.by_size[0] > 0.7);
+    assert!(get(a, "Helios").domination.by_size[0] < 0.15);
+    // Classic HPC core-hours concentrate in middle-length jobs; DL
+    // core-hours lean long (Takeaway 4's strongest contrast).
+    let mira = get(a, "Mira").domination.by_length;
+    assert!(mira[1] > mira[0], "Mira middle {} vs short {}", mira[1], mira[0]);
+    let helios = get(a, "Helios").domination.by_length;
+    assert!(helios[2] > 0.4, "Helios long share {}", helios[2]);
+}
+
+#[test]
+fn fig3_fig4_utilization_and_wait_contrast() {
+    let a = suite();
+    // Philly runs at the lowest utilization (virtual-cluster isolation)
+    // while still making jobs wait; Helios waits are near-interactive.
+    let philly = get(a, "Philly");
+    let helios = get(a, "Helios");
+    let mira = get(a, "Mira");
+    assert!(philly.utilization.window_util < mira.utilization.window_util);
+    assert!(philly.utilization.window_util < 0.7);
+    assert!(helios.waiting.under_10s_share > 0.6, "Helios {}", helios.waiting.under_10s_share);
+    assert!(philly.waiting.mean_wait > 10.0 * helios.waiting.mean_wait.max(1.0));
+    // Blue Waters queues: mean wait well above Helios.
+    let bw = get(a, "Blue Waters");
+    assert!(bw.waiting.mean_wait > 20.0 * helios.waiting.mean_wait.max(1.0));
+}
+
+#[test]
+fn fig5_long_jobs_wait_longest() {
+    let a = suite();
+    // Backfilling favours short jobs, so the long class waits the longest
+    // on the congested systems.
+    for name in ["Blue Waters", "Mira"] {
+        let w = &get(a, name).waiting.mean_wait_by_length;
+        if let (Some(short), Some(long)) = (w[0], w[2]) {
+            assert!(long >= short, "{name}: long {long} < short {short}");
+        }
+    }
+}
+
+#[test]
+fn fig6_fig7_failure_structure() {
+    let a = suite();
+    for s in a {
+        let f = &s.failures.overall;
+        // Pass rates below 70 % everywhere.
+        assert!(f.count_shares[0] < 0.72, "{} pass {}", s.system, f.count_shares[0]);
+        // Killed jobs consume at least their count share of core-hours;
+        // failed jobs consume at most theirs (they die early).
+        assert!(
+            f.core_hour_shares[2] >= f.count_shares[2] * 0.8,
+            "{}",
+            s.system
+        );
+        assert!(
+            f.core_hour_shares[1] <= f.count_shares[1] * 1.2,
+            "{}",
+            s.system
+        );
+        // Long jobs are overwhelmingly killed.
+        if let Some(long) = s.failures.by_length[2] {
+            assert!(long[2] > 0.5, "{} long-kill {}", s.system, long[2]);
+        }
+    }
+    // Mira's long jobs are almost all killed (paper: ~99 %).
+    if let Some(long) = get(a, "Mira").failures.by_length[2] {
+        assert!(long[2] > 0.85, "Mira long-kill {}", long[2]);
+    }
+}
+
+#[test]
+fn fig8_repeated_configurations() {
+    let a = suite();
+    for s in a {
+        if s.user_groups.users == 0 {
+            continue;
+        }
+        assert!(
+            s.user_groups.cumulative[9] > 0.7,
+            "{} top-10 coverage {}",
+            s.system,
+            s.user_groups.cumulative[9]
+        );
+    }
+    // DL users repeat less at the top-3 level than hybrid/HPC heavy users.
+    let bw3 = get(a, "Blue Waters").user_groups.cumulative[2];
+    let helios3 = get(a, "Helios").user_groups.cumulative[2];
+    assert!(bw3 > helios3, "BW {bw3} vs Helios {helios3}");
+}
+
+#[test]
+fn fig9_fig10_queue_adaptation() {
+    let a = suite();
+    // On the DL systems, the minimal-request share rises with queue length…
+    for name in ["Philly", "Helios"] {
+        let s = get(a, name);
+        if let (Some(short), Some(long)) =
+            (s.submission.request_shares[0], s.submission.request_shares[2])
+        {
+            assert!(
+                long[0] >= short[0],
+                "{name}: minimal share under long queue {} < short queue {}",
+                long[0],
+                short[0]
+            );
+        }
+    }
+    // …and mean runtimes shrink under congestion (Fig. 10, DL-only).
+    let philly = get(a, "Philly");
+    if let (Some(idle), Some(busy)) =
+        (philly.submission.mean_runtime[0], philly.submission.mean_runtime[2])
+    {
+        assert!(busy <= idle, "Philly runtime under load {busy} vs idle {idle}");
+    }
+}
+
+#[test]
+fn fig11_status_separates_runtimes_per_user() {
+    let a = suite();
+    let mut separated_users = 0;
+    let mut judged = 0;
+    for s in a {
+        for u in &s.user_failures {
+            if let Some(sep) = u.failed_shorter_than_passed(0.8) {
+                judged += 1;
+                if sep {
+                    separated_users += 1;
+                }
+            }
+        }
+    }
+    assert!(judged >= 5, "need users with both statuses, got {judged}");
+    assert!(
+        separated_users * 10 >= judged * 7,
+        "failed-vs-passed separation holds for {separated_users}/{judged} users"
+    );
+}

@@ -1,0 +1,69 @@
+//! Prediction integration: the Fig. 12 experiment on real generated traces
+//! (not just the synthetic bimodal fixtures used in unit tests).
+
+use lumos_core::SystemId;
+use lumos_predict::{evaluate_trace, ModelKind};
+use lumos_traces::{systems, Generator, GeneratorConfig};
+
+fn trace(id: SystemId, days: u32) -> lumos_core::Trace {
+    Generator::new(
+        systems::profile_for(id),
+        GeneratorConfig {
+            seed: 31,
+            span_days: days,
+            ..GeneratorConfig::default()
+        },
+    )
+    .generate()
+}
+
+#[test]
+fn fig12_grid_runs_on_a_dl_trace() {
+    let rows = evaluate_trace(&trace(SystemId::Helios, 1), &[0.125, 0.25, 0.5], 4_000);
+    assert_eq!(rows.len(), 15, "5 models x 3 elapsed points");
+    for r in &rows {
+        assert!(r.without.jobs >= 10);
+        assert!((0.0..=1.0).contains(&r.without.underestimate_rate));
+        assert!((0.0..=1.0).contains(&r.with_elapsed.accuracy));
+    }
+}
+
+#[test]
+fn elapsed_time_cuts_underestimates_on_generated_workloads() {
+    // The paper's headline claim, on the synthetic Philly workload whose
+    // per-user failure modes (Fig. 11) make elapsed time informative.
+    let rows = evaluate_trace(&trace(SystemId::Philly, 1), &[0.25, 0.5], 4_000);
+    assert!(!rows.is_empty());
+    let improved = rows
+        .iter()
+        .filter(|r| r.with_elapsed.underestimate_rate <= r.without.underestimate_rate)
+        .count();
+    assert!(
+        improved * 10 >= rows.len() * 8,
+        "elapsed time should reduce underestimation for >=80% of cells: {improved}/{}",
+        rows.len()
+    );
+}
+
+#[test]
+fn every_model_is_exercised() {
+    let rows = evaluate_trace(&trace(SystemId::Helios, 1), &[0.25], 2_000);
+    for kind in ModelKind::ALL {
+        assert!(
+            rows.iter().any(|r| r.model == kind),
+            "missing model {kind:?}"
+        );
+    }
+}
+
+#[test]
+fn evaluation_is_deterministic() {
+    let t = trace(SystemId::Philly, 1);
+    let a = evaluate_trace(&t, &[0.25], 2_000);
+    let b = evaluate_trace(&t, &[0.25], 2_000);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.without.underestimate_rate, y.without.underestimate_rate);
+        assert_eq!(x.with_elapsed.accuracy, y.with_elapsed.accuracy);
+    }
+}
