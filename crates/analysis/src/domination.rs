@@ -83,9 +83,9 @@ mod tests {
     fn shares_sum_to_one() {
         let spec = SystemSpec::philly();
         let jobs = vec![
-            Job::basic(1, 1, 0, HOUR / 2, 1),      // small, short
-            Job::basic(2, 1, 1, 2 * HOUR, 4),      // middle, middle
-            Job::basic(3, 1, 2, 30 * HOUR, 64),    // large, long
+            Job::basic(1, 1, 0, HOUR / 2, 1),   // small, short
+            Job::basic(2, 1, 1, 2 * HOUR, 4),   // middle, middle
+            Job::basic(3, 1, 2, 30 * HOUR, 64), // large, long
         ];
         let d = domination(&Trace::new(spec, jobs).unwrap());
         assert!((d.by_size.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -110,9 +110,7 @@ mod tests {
     fn job_counts_can_disagree_with_core_hours() {
         // Many tiny jobs vs one huge one: counts say Small, hours say Large.
         let spec = SystemSpec::philly();
-        let mut jobs: Vec<Job> = (0..99)
-            .map(|i| Job::basic(i, 1, i as i64, 60, 1))
-            .collect();
+        let mut jobs: Vec<Job> = (0..99).map(|i| Job::basic(i, 1, i as i64, 60, 1)).collect();
         jobs.push(Job::basic(99, 1, 99, 100 * HOUR, 128));
         let d = domination(&Trace::new(spec, jobs).unwrap());
         assert!(d.job_share_by_size[0] > 0.9);

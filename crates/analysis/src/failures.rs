@@ -183,7 +183,11 @@ mod tests {
         let spec = SystemSpec::philly();
         let jobs: Vec<Job> = (0..100u64)
             .map(|i| {
-                let status = if i % 2 == 0 { JobStatus::Passed } else { JobStatus::Killed };
+                let status = if i % 2 == 0 {
+                    JobStatus::Passed
+                } else {
+                    JobStatus::Killed
+                };
                 job(i, 100 + (i % 7) as i64, 1 + (i % 5), status)
             })
             .collect();

@@ -181,9 +181,7 @@ mod tests {
 
     #[test]
     fn resource_shares() {
-        let mut jobs: Vec<Job> = (0..8)
-            .map(|i| Job::basic(i, 1, i as i64, 10, 1))
-            .collect();
+        let mut jobs: Vec<Job> = (0..8).map(|i| Job::basic(i, 1, i as i64, 10, 1)).collect();
         jobs.push(Job::basic(8, 1, 8, 10, 2_000));
         jobs.push(Job::basic(9, 1, 9, 10, 2_000));
         let t = Trace::new(SystemSpec::theta(), jobs).unwrap();

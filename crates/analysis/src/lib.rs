@@ -75,8 +75,8 @@ pub fn analyze_system_with(trace: &Trace, sim: &SimConfig) -> SystemAnalysis {
     let result = simulate(trace, sim);
     // Rebuild a trace whose jobs carry the observed waits, for the
     // wait-dependent analyses.
-    let replayed = Trace::new(trace.system.clone(), result.jobs.clone())
-        .expect("replay preserves validity");
+    let replayed =
+        Trace::new(trace.system.clone(), result.jobs.clone()).expect("replay preserves validity");
 
     SystemAnalysis {
         system: trace.system.name.clone(),

@@ -62,8 +62,7 @@ pub fn periodicity(trace: &Trace) -> Periodicity {
         if mean <= 0.0 {
             0.0
         } else {
-            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>()
-                / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
             var.sqrt() / mean
         }
     };

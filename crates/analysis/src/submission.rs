@@ -52,7 +52,9 @@ pub fn queue_lengths_at_submission(replayed: &Trace) -> Vec<usize> {
             }
         }
         out.push(starts.len());
-        starts.push(Reverse(j.submit + j.wait.expect("replayed trace carries waits")));
+        starts.push(Reverse(
+            j.submit + j.wait.expect("replayed trace carries waits"),
+        ));
     }
     out
 }
@@ -135,7 +137,15 @@ mod tests {
     fn behaviour_shares_sum_to_one() {
         let spec = SystemSpec::philly();
         let jobs: Vec<Job> = (0..100)
-            .map(|i| job(i, i as i64, (i % 40) as i64 * 100, 60 + i as i64, 1 + (i % 16)))
+            .map(|i| {
+                job(
+                    i,
+                    i as i64,
+                    (i % 40) as i64 * 100,
+                    60 + i as i64,
+                    1 + (i % 16),
+                )
+            })
             .collect();
         let t = Trace::new(spec, jobs).unwrap();
         let b = submission_behaviour(&t);

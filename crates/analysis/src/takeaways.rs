@@ -54,10 +54,8 @@ pub fn evaluate(analyses: &[SystemAnalysis]) -> Vec<Takeaway> {
             .filter(|a| a.overview.kind == SystemKind::ClassicHpc)
             .map(|a| spread(a))
             .fold(0.0, f64::max);
-        let holds = !dl.is_empty()
-            && !hpc.is_empty()
-            && dl_median < hpc_median
-            && dl_spread >= hpc_spread;
+        let holds =
+            !dl.is_empty() && !hpc.is_empty() && dl_median < hpc_median && dl_spread >= hpc_spread;
         out.push(Takeaway {
             id: 1,
             title: "DL runtimes are shorter and more diverse than HPC runtimes",
@@ -111,13 +109,8 @@ pub fn evaluate(analyses: &[SystemAnalysis]) -> Vec<Takeaway> {
 
     // T4: dominating core-hour groups exist but shift across systems.
     {
-        let max_share = |a: &SystemAnalysis| {
-            a.domination
-                .by_size
-                .iter()
-                .cloned()
-                .fold(0.0f64, f64::max)
-        };
+        let max_share =
+            |a: &SystemAnalysis| a.domination.by_size.iter().cloned().fold(0.0f64, f64::max);
         let all_have_dominant = analyses.iter().all(|a| max_share(a) >= 0.4);
         let dominants: std::collections::HashSet<_> = analyses
             .iter()
@@ -153,10 +146,7 @@ pub fn evaluate(analyses: &[SystemAnalysis]) -> Vec<Takeaway> {
             id: 5,
             title: "DL clusters run at lower utilization despite queued jobs",
             holds,
-            evidence: format!(
-                "min DL util {:.2} vs min HPC util {:.2}",
-                dl_util, hpc_util
-            ),
+            evidence: format!("min DL util {:.2} vs min HPC util {:.2}", dl_util, hpc_util),
         });
     }
 
@@ -190,8 +180,7 @@ pub fn evaluate(analyses: &[SystemAnalysis]) -> Vec<Takeaway> {
             .iter()
             .all(|a| a.failures.overall.count_shares[0] < 0.70);
         let killed_over_consume = analyses.iter().all(|a| {
-            a.failures.overall.core_hour_shares[2] + 1e-9
-                >= a.failures.overall.count_shares[2]
+            a.failures.overall.core_hour_shares[2] + 1e-9 >= a.failures.overall.count_shares[2]
         });
         let holds = all_below_70 && killed_over_consume;
         out.push(Takeaway {
@@ -218,7 +207,10 @@ pub fn evaluate(analyses: &[SystemAnalysis]) -> Vec<Takeaway> {
             .filter(|a| a.user_groups.users > 0)
             .all(|a| a.user_groups.cumulative[9] >= 0.75);
         let dl_adapts = dl.iter().all(|a| {
-            match (a.submission.request_shares[0], a.submission.request_shares[2]) {
+            match (
+                a.submission.request_shares[0],
+                a.submission.request_shares[2],
+            ) {
                 (Some(short), Some(long)) => long[0] >= short[0],
                 _ => true, // not enough congestion variation to judge
             }

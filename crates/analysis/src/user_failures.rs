@@ -55,8 +55,7 @@ pub fn top_user_violins(trace: &Trace, top_n: usize) -> Vec<UserStatusViolins> {
                 }
             }
             let violins = [0, 1, 2].map(|i| {
-                (!samples[i].is_empty())
-                    .then(|| ViolinSummary::build(&samples[i], true, 1.0, 80))
+                (!samples[i].is_empty()).then(|| ViolinSummary::build(&samples[i], true, 1.0, 80))
             });
             let medians = [0, 1, 2].map(|i| violins[i].as_ref().map(|v| v.median));
             UserStatusViolins {

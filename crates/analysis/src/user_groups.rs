@@ -68,18 +68,15 @@ fn user_curve(trace: &Trace, user: UserId) -> Option<([f64; 10], usize)> {
     if total < 10 {
         return None; // not enough jobs to be a representative user
     }
-    let mut group_sizes: Vec<usize> = by_procs
-        .into_values()
-        .flat_map(cluster_runtimes)
-        .collect();
+    let mut group_sizes: Vec<usize> = by_procs.into_values().flat_map(cluster_runtimes).collect();
     group_sizes.sort_unstable_by(|a, b| b.cmp(a));
     let mut curve = [0.0f64; 10];
     let mut acc = 0usize;
-    for k in 0..10 {
+    for (k, slot) in curve.iter_mut().enumerate() {
         if let Some(&size) = group_sizes.get(k) {
             acc += size;
         }
-        curve[k] = acc as f64 / total as f64;
+        *slot = acc as f64 / total as f64;
     }
     Some((curve, total))
 }
@@ -142,7 +139,9 @@ mod tests {
     #[test]
     fn repetitive_user_has_high_top1_share() {
         let spec = SystemSpec::philly();
-        let mut jobs: Vec<Job> = (0..90).map(|i| Job::basic(i, 7, i as i64, 300, 1)).collect();
+        let mut jobs: Vec<Job> = (0..90)
+            .map(|i| Job::basic(i, 7, i as i64, 300, 1))
+            .collect();
         jobs.extend((90..100).map(|i| Job::basic(i, 7, i as i64, 50_000 + 5_000 * i as i64, 8)));
         let t = Trace::new(spec, jobs).unwrap();
         let g = group_curve(&t, 5);
@@ -158,7 +157,9 @@ mod tests {
     #[test]
     fn different_procs_never_share_groups() {
         let spec = SystemSpec::philly();
-        let mut jobs: Vec<Job> = (0..10).map(|i| Job::basic(i, 1, i as i64, 100, 1)).collect();
+        let mut jobs: Vec<Job> = (0..10)
+            .map(|i| Job::basic(i, 1, i as i64, 100, 1))
+            .collect();
         jobs.extend((10..20).map(|i| Job::basic(i, 1, i as i64, 100, 2)));
         let t = Trace::new(spec, jobs).unwrap();
         let g = group_curve(&t, 1);

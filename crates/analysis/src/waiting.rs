@@ -75,9 +75,8 @@ pub fn waiting_analysis(replayed: &Trace) -> WaitingAnalysis {
         sum_len[l] += w;
         n_len[l] += 1;
     }
-    let means = |sum: [f64; 3], n: [usize; 3]| {
-        [0, 1, 2].map(|i| (n[i] > 0).then(|| sum[i] / n[i] as f64))
-    };
+    let means =
+        |sum: [f64; 3], n: [usize; 3]| [0, 1, 2].map(|i| (n[i] > 0).then(|| sum[i] / n[i] as f64));
     let mean_wait_by_size = means(sum_size, n_size);
     let mean_wait_by_length = means(sum_len, n_len);
 
@@ -118,9 +117,9 @@ mod tests {
     fn aggregates_and_classes() {
         let spec = SystemSpec::philly();
         let jobs = vec![
-            job(1, 0, 100, 1),            // small, short, no wait
-            job(2, 7_200, 2 * HOUR, 4),   // middle size, middle length
-            job(3, 100, 30 * HOUR, 64),   // large, long
+            job(1, 0, 100, 1),          // small, short, no wait
+            job(2, 7_200, 2 * HOUR, 4), // middle size, middle length
+            job(3, 100, 30 * HOUR, 64), // large, long
         ];
         let w = waiting_analysis(&Trace::new(spec, jobs).unwrap());
         assert!((w.mean_wait - (7_300.0 / 3.0)).abs() < 1e-9);

@@ -23,7 +23,10 @@ fn minimal_gradient(feedback: bool) -> Option<f64> {
     )
     .generate();
     let a = analyze_system(&trace);
-    match (a.submission.request_shares[0], a.submission.request_shares[2]) {
+    match (
+        a.submission.request_shares[0],
+        a.submission.request_shares[2],
+    ) {
         (Some(short), Some(long)) => Some(long[0] - short[0]),
         _ => None,
     }
@@ -31,9 +34,7 @@ fn minimal_gradient(feedback: bool) -> Option<f64> {
 
 fn bench(c: &mut Criterion) {
     println!("\n== Queue-feedback ablation (Philly, 2 days) ==");
-    println!(
-        "minimal-request share gradient (long queue − short queue):"
-    );
+    println!("minimal-request share gradient (long queue − short queue):");
     println!("  with feedback    : {:?}", minimal_gradient(true));
     println!("  without feedback : {:?}", minimal_gradient(false));
 
@@ -56,7 +57,9 @@ fn bench(c: &mut Criterion) {
         ..cfg_off
     };
     g.bench_function("generate_helios_with_feedback", |b| {
-        b.iter(|| black_box(Generator::new(systems::profile_for(SystemId::Helios), cfg_on).generate()))
+        b.iter(|| {
+            black_box(Generator::new(systems::profile_for(SystemId::Helios), cfg_on).generate())
+        })
     });
     g.finish();
 }

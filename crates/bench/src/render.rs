@@ -17,13 +17,7 @@ pub fn fig1(analyses: &[SystemAnalysis]) -> String {
     let _ = writeln!(
         out,
         "{:<14} {:>12} {:>12} {:>14} {:>12} {:>10} {:>10}",
-        "System",
-        "med runtime",
-        "med gap",
-        "hourly max/min",
-        "med procs",
-        "1-unit %",
-        ">1k %"
+        "System", "med runtime", "med gap", "hourly max/min", "med procs", "1-unit %", ">1k %"
     );
     for a in analyses {
         let _ = writeln!(
@@ -188,8 +182,7 @@ pub fn fig9_fig10(analyses: &[SystemAnalysis]) -> String {
                 .map_or_else(|| "  n/a".into(), |s| format!("{:>4.0}%", s[0] * 100.0))
         };
         let fmt_rt = |qc: usize| {
-            a.submission.mean_runtime[qc]
-                .map_or_else(|| "    n/a".into(), |r| format!("{r:>6.0}s"))
+            a.submission.mean_runtime[qc].map_or_else(|| "    n/a".into(), |r| format!("{r:>6.0}s"))
         };
         let _ = writeln!(
             out,
@@ -218,9 +211,7 @@ pub fn fig11(analyses: &[SystemAnalysis]) -> String {
     );
     for a in analyses {
         for u in &a.user_failures {
-            let med = |i: usize| {
-                u.medians[i].map_or_else(|| "n/a".into(), |m| format!("{m:.0}s"))
-            };
+            let med = |i: usize| u.medians[i].map_or_else(|| "n/a".into(), |m| format!("{m:.0}s"));
             let _ = writeln!(
                 out,
                 "{:<14} U{:<5} {:>7} | {} / {} / {}",

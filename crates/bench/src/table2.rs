@@ -13,8 +13,7 @@ use rayon::prelude::*;
 use serde::Serialize;
 
 /// The systems Table II covers (DL traces carry no walltimes).
-pub const TABLE2_SYSTEMS: [SystemId; 3] =
-    [SystemId::BlueWaters, SystemId::Mira, SystemId::Theta];
+pub const TABLE2_SYSTEMS: [SystemId; 3] = [SystemId::BlueWaters, SystemId::Mira, SystemId::Theta];
 
 /// One Table II block: a system under both relaxation rules.
 #[derive(Debug, Clone, Serialize)]
@@ -93,7 +92,14 @@ pub fn run_table2(seed: u64, days: u32, base_factor: f64) -> Vec<Table2Row> {
     TABLE2_SYSTEMS
         .par_iter()
         .map(|&id| {
-            let relaxed = run_system(id, seed, days, Relax::Fixed { factor: base_factor });
+            let relaxed = run_system(
+                id,
+                seed,
+                days,
+                Relax::Fixed {
+                    factor: base_factor,
+                },
+            );
             let adaptive = run_system(id, seed, days, Relax::Adaptive { base: base_factor });
             Table2Row {
                 system: id.name().to_string(),

@@ -1,8 +1,11 @@
 //! `lumos` — regenerate every table and figure of the paper from the
-//! synthetic five-system suite (or from SWF traces you supply).
+//! synthetic five-system suite (or from SWF traces you supply), or run
+//! the online scheduling service.
 //!
 //! ```text
 //! lumos <command> [--seed N] [--days N] [--out DIR] [--swf FILE --system NAME]
+//! lumos serve [--addr HOST:PORT] [--system NAME] [--policy P] [--backfill B]
+//!             [--queue-cap N] [--time-scale X]
 //!
 //! Commands:
 //!   table1      dataset overview (Table I)
@@ -18,13 +21,31 @@
 //!   table2      adaptive relaxed backfilling (Table II)
 //!   takeaways   evaluate the paper's eight takeaways
 //!   all         everything above + JSON report
+//!   serve       online scheduling service (NDJSON over TCP + stdin)
 //! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 usage error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lumos_analysis::SystemAnalysis;
 use lumos_bench::{fig12::run_fig12, render, table2::run_table2};
+
+/// CLI failure, split so `main` can exit 2 on bad invocations and 1 on
+/// runtime errors.
+enum CliError {
+    /// The invocation itself is wrong (unknown command/flag, bad value).
+    Usage(String),
+    /// The invocation is fine but the work failed (I/O, parse, ...).
+    Runtime(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Runtime(msg)
+    }
+}
 
 struct Options {
     command: String,
@@ -35,8 +56,7 @@ struct Options {
     system: Option<String>,
 }
 
-fn parse_args() -> Result<Options, String> {
-    let mut args = std::env::args().skip(1);
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
     let command = args.next().ok_or_else(usage)?;
     let mut opts = Options {
         command,
@@ -47,13 +67,18 @@ fn parse_args() -> Result<Options, String> {
         system: None,
     };
     while let Some(flag) = args.next() {
-        let mut value = |name: &str| {
-            args.next()
-                .ok_or_else(|| format!("{name} expects a value"))
-        };
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
         match flag.as_str() {
-            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--days" => opts.days = value("--days")?.parse().map_err(|e| format!("--days: {e}"))?,
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--days" => {
+                opts.days = value("--days")?
+                    .parse()
+                    .map_err(|e| format!("--days: {e}"))?
+            }
             "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
             "--swf" => opts.swf = Some(PathBuf::from(value("--swf")?)),
             "--system" => opts.system = Some(value("--system")?),
@@ -65,8 +90,99 @@ fn parse_args() -> Result<Options, String> {
 
 fn usage() -> String {
     "usage: lumos <table1|fig1|fig2|fig3|fig4|fig6|fig8|fig9|fig11|fig12|table2|takeaways|all> \
-     [--seed N] [--days N] [--out DIR] [--swf FILE --system NAME]"
+     [--seed N] [--days N] [--out DIR] [--swf FILE --system NAME]\n\
+     \x20      lumos serve [--addr HOST:PORT] [--system NAME] [--policy P] [--backfill B] \
+     [--queue-cap N] [--time-scale X]\n\
+     \x20      lumos --help | --version"
         .to_string()
+}
+
+/// Resolves a `--system` name to its paper spec.
+fn system_spec(name: &str) -> Result<lumos_core::SystemSpec, String> {
+    match name {
+        "mira" => Ok(lumos_core::SystemSpec::mira()),
+        "theta" => Ok(lumos_core::SystemSpec::theta()),
+        "blue-waters" => Ok(lumos_core::SystemSpec::blue_waters()),
+        "philly" => Ok(lumos_core::SystemSpec::philly()),
+        "helios" => Ok(lumos_core::SystemSpec::helios()),
+        other => Err(format!(
+            "unknown --system {other} (expected mira|theta|blue-waters|philly|helios)"
+        )),
+    }
+}
+
+/// Runs `lumos serve`: bind, announce, serve until a Shutdown command.
+fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
+    let mut addr = "127.0.0.1:7421".to_string();
+    let mut config = lumos_serve::ServeConfig::new(lumos_core::SystemSpec::theta());
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| CliError::Usage(format!("{name} expects a value\n{}", usage())))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--system" => {
+                config.system = system_spec(&value("--system")?).map_err(CliError::Usage)?;
+            }
+            "--policy" => {
+                config.sim.policy = match value("--policy")?.as_str() {
+                    "fcfs" => lumos_sim::Policy::Fcfs,
+                    "sjf" => lumos_sim::Policy::Sjf,
+                    "ljf" => lumos_sim::Policy::Ljf,
+                    "saf" => lumos_sim::Policy::Saf,
+                    "sqf" => lumos_sim::Policy::Sqf,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown --policy {other} (expected fcfs|sjf|ljf|saf|sqf)"
+                        )))
+                    }
+                };
+            }
+            "--backfill" => {
+                config.sim.backfill = match value("--backfill")?.as_str() {
+                    "none" => lumos_sim::Backfill::None,
+                    "easy" => lumos_sim::Backfill::Easy,
+                    "conservative" => lumos_sim::Backfill::Conservative,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown --backfill {other} (expected none|easy|conservative)"
+                        )))
+                    }
+                };
+            }
+            "--queue-cap" => {
+                config.queue_capacity = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--queue-cap: {e}")))?;
+            }
+            "--time-scale" => {
+                config.time_scale = value("--time-scale")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--time-scale: {e}")))?;
+                if !config.time_scale.is_finite() || config.time_scale < 0.0 {
+                    return Err(CliError::Usage(
+                        "--time-scale must be a finite value ≥ 0".into(),
+                    ));
+                }
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown flag {other}\n{}",
+                    usage()
+                )))
+            }
+        }
+    }
+    let server = lumos_serve::Server::bind(&addr, config)
+        .map_err(|e| CliError::Runtime(format!("binding {addr}: {e}")))?;
+    let bound = server
+        .local_addr()
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    eprintln!("lumos-serve listening on {bound} (NDJSON; also reading stdin)");
+    server
+        .run(true)
+        .map_err(|e| CliError::Runtime(e.to_string()))
 }
 
 /// Loads the analysis suite: either the five synthetic systems, or a single
@@ -78,12 +194,8 @@ fn load_suite(opts: &Options) -> Result<Vec<SystemAnalysis>, String> {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("reading {}: {e}", path.display()))?;
             let spec = match opts.system.as_deref() {
-                Some("mira") => lumos_core::SystemSpec::mira(),
-                Some("theta") | None => lumos_core::SystemSpec::theta(),
-                Some("blue-waters") => lumos_core::SystemSpec::blue_waters(),
-                Some("philly") => lumos_core::SystemSpec::philly(),
-                Some("helios") => lumos_core::SystemSpec::helios(),
-                Some(other) => return Err(format!("unknown --system {other}")),
+                None => lumos_core::SystemSpec::theta(),
+                Some(name) => system_spec(name)?,
             };
             let trace = lumos_traces::swf::parse(&text, spec).map_err(|e| e.to_string())?;
             Ok(vec![lumos_analysis::analyze_system(&trace)])
@@ -101,8 +213,8 @@ fn write_json(opts: &Options, name: &str, json: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn run() -> Result<(), String> {
-    let opts = parse_args()?;
+fn run(args: impl Iterator<Item = String>) -> Result<(), CliError> {
+    let opts = parse_args(args).map_err(CliError::Usage)?;
     let to_json = |v: &dyn erased::Json| v.to_json();
 
     match opts.command.as_str() {
@@ -162,25 +274,48 @@ fn run() -> Result<(), String> {
         "all" => {
             let analyses = load_suite(&opts)?;
             let rows: Vec<_> = analyses.iter().map(|a| a.overview.clone()).collect();
-            println!("== Table I ==\n{}", lumos_analysis::report::render_table(&rows));
+            println!(
+                "== Table I ==\n{}",
+                lumos_analysis::report::render_table(&rows)
+            );
             println!("== Fig. 1 (geometries) ==\n{}", render::fig1(&analyses));
             println!("== Fig. 2 (domination) ==\n{}", render::fig2(&analyses));
             println!("== Fig. 3 (utilization) ==\n{}", render::fig3(&analyses));
-            println!("== Figs. 4–5 (waiting) ==\n{}", render::fig4_fig5(&analyses));
-            println!("== Figs. 6–7 (failures) ==\n{}", render::fig6_fig7(&analyses));
+            println!(
+                "== Figs. 4–5 (waiting) ==\n{}",
+                render::fig4_fig5(&analyses)
+            );
+            println!(
+                "== Figs. 6–7 (failures) ==\n{}",
+                render::fig6_fig7(&analyses)
+            );
             println!("== Fig. 8 (user groups) ==\n{}", render::fig8(&analyses));
-            println!("== Figs. 9–10 (submissions) ==\n{}", render::fig9_fig10(&analyses));
+            println!(
+                "== Figs. 9–10 (submissions) ==\n{}",
+                render::fig9_fig10(&analyses)
+            );
             println!("== Fig. 11 (user violins) ==\n{}", render::fig11(&analyses));
             let fig12_results = run_fig12(opts.seed, opts.days, 20_000);
-            println!("== Fig. 12 (prediction) ==\n{}", render::fig12(&fig12_results));
+            println!(
+                "== Fig. 12 (prediction) ==\n{}",
+                render::fig12(&fig12_results)
+            );
             let table2_rows = run_table2(opts.seed, opts.days, 0.10);
-            println!("== Table II (adaptive backfilling) ==\n{}", render::table2(&table2_rows));
+            println!(
+                "== Table II (adaptive backfilling) ==\n{}",
+                render::table2(&table2_rows)
+            );
             println!("== Takeaways ==\n{}", render::takeaway_report(&analyses));
             write_json(&opts, "suite", &to_json(&analyses))?;
             write_json(&opts, "fig12", &to_json(&fig12_results))?;
             write_json(&opts, "table2", &to_json(&table2_rows))?;
         }
-        other => return Err(format!("unknown command {other}\n{}", usage())),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown command {other}\n{}",
+                usage()
+            )))
+        }
     }
     Ok(())
 }
@@ -197,12 +332,35 @@ mod erased {
     }
 }
 
-fn main() -> ExitCode {
-    match run() {
+fn report(result: Result<(), CliError>) -> ExitCode {
+    match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Runtime(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+        Err(CliError::Usage(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    match args.peek().map(String::as_str) {
+        Some("--help" | "-h" | "help") => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Some("--version" | "-V" | "version") => {
+            println!("lumos {}", env!("CARGO_PKG_VERSION"));
+            ExitCode::SUCCESS
+        }
+        Some("serve") => {
+            args.next();
+            report(run_serve(args))
+        }
+        _ => report(run(args)),
     }
 }

@@ -53,7 +53,9 @@ impl fmt::Display for CoreError {
                 f,
                 "job {job} requests {requested} resource units but the system has {capacity}"
             ),
-            Self::InvalidTime { job, what } => write!(f, "job {job} has invalid time field: {what}"),
+            Self::InvalidTime { job, what } => {
+                write!(f, "job {job} has invalid time field: {what}")
+            }
             Self::UnsortedTrace { index } => {
                 write!(f, "trace is not sorted by submit time at index {index}")
             }
@@ -86,9 +88,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(CoreError::EmptyTrace, CoreError::EmptyTrace);
-        assert_ne!(
-            CoreError::EmptyTrace,
-            CoreError::UnsortedTrace { index: 0 }
-        );
+        assert_ne!(CoreError::EmptyTrace, CoreError::UnsortedTrace { index: 0 });
     }
 }

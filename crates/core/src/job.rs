@@ -101,7 +101,13 @@ pub struct Job {
 impl Job {
     /// Creates a minimal passed job; convenient in tests and examples.
     #[must_use]
-    pub fn basic(id: JobId, user: UserId, submit: Timestamp, runtime: Duration, procs: u64) -> Self {
+    pub fn basic(
+        id: JobId,
+        user: UserId,
+        submit: Timestamp,
+        runtime: Duration,
+        procs: u64,
+    ) -> Self {
         Self {
             id,
             user,

@@ -197,8 +197,11 @@ mod tests {
 
     #[test]
     fn new_sorts_by_submit() {
-        let t = Trace::new(tiny_system(), vec![job(2, 1, 50), job(1, 1, 10), job(3, 2, 30)])
-            .unwrap();
+        let t = Trace::new(
+            tiny_system(),
+            vec![job(2, 1, 50), job(1, 1, 10), job(3, 2, 30)],
+        )
+        .unwrap();
         let submits: Vec<_> = t.jobs().iter().map(|j| j.submit).collect();
         assert_eq!(submits, vec![10, 30, 50]);
         assert_eq!(t.start_time(), 10);
@@ -262,8 +265,11 @@ mod tests {
 
     #[test]
     fn window_filters_by_submit() {
-        let t =
-            Trace::new(tiny_system(), vec![job(1, 1, 0), job(2, 1, 100), job(3, 1, 200)]).unwrap();
+        let t = Trace::new(
+            tiny_system(),
+            vec![job(1, 1, 0), job(2, 1, 100), job(3, 1, 200)],
+        )
+        .unwrap();
         let w = t.window(50, 200).unwrap();
         assert_eq!(w.len(), 1);
         assert_eq!(w.jobs()[0].id, 2);

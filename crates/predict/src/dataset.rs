@@ -79,7 +79,13 @@ impl Dataset {
                 walltime: j.walltime.map(|w| w.max(1) as f64),
                 censored: j.status == JobStatus::Killed
                     && j.walltime.is_some_and(|w| j.runtime >= w),
-                history: user_hist.iter().rev().take(HISTORY).rev().copied().collect(),
+                history: user_hist
+                    .iter()
+                    .rev()
+                    .take(HISTORY)
+                    .rev()
+                    .copied()
+                    .collect(),
             });
             user_hist.push(runtime);
         }

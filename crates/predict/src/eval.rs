@@ -110,7 +110,10 @@ fn run_model(
     match kind.build() {
         None => {
             // Last2 is history-based.
-            let without: Vec<f64> = test.iter().map(|i| Last2::predict(i, global_mean)).collect();
+            let without: Vec<f64> = test
+                .iter()
+                .map(|i| Last2::predict(i, global_mean))
+                .collect();
             let with: Vec<f64> = test
                 .iter()
                 .map(|i| Last2::predict_with_elapsed(i, global_mean, elapsed))
@@ -132,8 +135,7 @@ fn run_model(
             // Elapsed-aware: survival-conditioned training + elapsed feature
             // + clamp at the observed elapsed time.
             let mut aware = kind.build().expect("feature model");
-            let survivors: Vec<&Instance> =
-                train.iter().filter(|i| i.runtime > elapsed).collect();
+            let survivors: Vec<&Instance> = train.iter().filter(|i| i.runtime > elapsed).collect();
             // Degenerate guard: if nothing survived E, fall back to all.
             let pool: Vec<&Instance> = if survivors.is_empty() {
                 train.iter().collect()
@@ -146,7 +148,11 @@ fn run_model(
             aware.fit(&ax, &ay, &ac);
             let with: Vec<f64> = test
                 .iter()
-                .map(|i| aware.predict(&elapsed_features(i, elapsed)).max(elapsed.max(1.0)))
+                .map(|i| {
+                    aware
+                        .predict(&elapsed_features(i, elapsed))
+                        .max(elapsed.max(1.0))
+                })
                 .collect();
 
             (score(&actual, &without), score(&actual, &with))
@@ -161,11 +167,7 @@ pub fn evaluate_trace(trace: &Trace, fracs: &[f64], max_instances: usize) -> Vec
     let mut dataset = Dataset::from_trace(trace);
     if dataset.len() > max_instances && max_instances > 0 {
         let stride = dataset.len().div_ceil(max_instances);
-        dataset.instances = dataset
-            .instances
-            .into_iter()
-            .step_by(stride)
-            .collect();
+        dataset.instances = dataset.instances.into_iter().step_by(stride).collect();
     }
     if dataset.len() < 20 {
         return Vec::new();
@@ -190,8 +192,7 @@ pub fn evaluate_trace(trace: &Trace, fracs: &[f64], max_instances: usize) -> Vec
             if eligible.len() < 10 {
                 return None;
             }
-            let (without, with_elapsed) =
-                run_model(model, train, &eligible, elapsed, global_mean);
+            let (without, with_elapsed) = run_model(model, train, &eligible, elapsed, global_mean);
             Some(Fig12Row {
                 model,
                 elapsed_frac: frac,
@@ -223,7 +224,11 @@ mod tests {
                 3_000 + rng.next_below(1_200) as i64
             };
             let mut j = Job::basic(i as u64, user, i as i64 * 30, runtime, 8);
-            j.status = if fail { JobStatus::Failed } else { JobStatus::Passed };
+            j.status = if fail {
+                JobStatus::Failed
+            } else {
+                JobStatus::Passed
+            };
             jobs.push(j);
         }
         Trace::new(SystemSpec::theta(), jobs).unwrap()
@@ -246,8 +251,11 @@ mod tests {
         // must drop on average.
         let rows = evaluate_trace(&bimodal_trace(800, 2), &[0.25], 10_000);
         assert_eq!(rows.len(), 5);
-        let mean_without: f64 =
-            rows.iter().map(|r| r.without.underestimate_rate).sum::<f64>() / rows.len() as f64;
+        let mean_without: f64 = rows
+            .iter()
+            .map(|r| r.without.underestimate_rate)
+            .sum::<f64>()
+            / rows.len() as f64;
         let mean_with: f64 = rows
             .iter()
             .map(|r| r.with_elapsed.underestimate_rate)

@@ -4,6 +4,7 @@
 /// Solves `A x = b` in place. `a` is row-major `n × n`.
 /// Returns `None` when the matrix is numerically singular.
 #[must_use]
+#[allow(clippy::needless_range_loop)] // index form mirrors the math
 pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     assert_eq!(a.len(), n, "A must be n × n");

@@ -71,6 +71,7 @@ impl Gbt {
         self.trees.len()
     }
 
+    #[allow(clippy::needless_range_loop)] // `f` indexes columns, not rows of `x`
     fn build(
         &self,
         x: &[Vec<f64>],
@@ -90,9 +91,8 @@ impl Gbt {
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
         let mut sorted = indices.to_vec();
         for f in 0..n_features {
-            sorted.sort_unstable_by(|&a, &b| {
-                x[a][f].partial_cmp(&x[b][f]).expect("finite features")
-            });
+            sorted
+                .sort_unstable_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).expect("finite features"));
             let mut left_sum = 0.0;
             for (k, &i) in sorted.iter().enumerate().take(sorted.len() - 1) {
                 left_sum += residuals[i];
@@ -107,9 +107,7 @@ impl Gbt {
                 let right_sum = total_sum - left_sum;
                 let right_n = n - left_n;
                 let score = left_sum * left_sum / left_n + right_sum * right_sum / right_n;
-                if score > parent_score + 1e-12
-                    && best.is_none_or(|(_, _, s)| score > s)
-                {
+                if score > parent_score + 1e-12 && best.is_none_or(|(_, _, s)| score > s) {
                     let threshold = 0.5 * (x[i][f] + x[sorted[k + 1]][f]);
                     best = Some((f, threshold, score));
                 }
@@ -151,11 +149,7 @@ impl Model for Gbt {
         let mut predictions = vec![self.base; logs.len()];
         let mut indices: Vec<usize> = (0..logs.len()).collect();
         for _ in 0..self.n_trees {
-            let residuals: Vec<f64> = logs
-                .iter()
-                .zip(&predictions)
-                .map(|(t, p)| t - p)
-                .collect();
+            let residuals: Vec<f64> = logs.iter().zip(&predictions).map(|(t, p)| t - p).collect();
             let tree = self.build(x, &residuals, &mut indices, 0);
             for (p, row) in predictions.iter_mut().zip(x) {
                 *p += self.learning_rate * tree.eval(row);

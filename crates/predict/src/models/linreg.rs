@@ -38,6 +38,7 @@ impl Default for LinearRegression {
 }
 
 impl Model for LinearRegression {
+    #[allow(clippy::needless_range_loop)] // index form mirrors the math
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64], _censored: &[bool]) {
         assert_eq!(x.len(), y.len());
         if x.is_empty() {

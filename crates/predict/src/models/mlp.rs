@@ -116,7 +116,10 @@ impl Model for Mlp {
         self.target_sd = var.sqrt().max(1e-9);
 
         let xs: Vec<Vec<f64>> = x.iter().map(|r| self.standardize(r)).collect();
-        let ts: Vec<f64> = logs.iter().map(|l| (l - self.target_mu) / self.target_sd).collect();
+        let ts: Vec<f64> = logs
+            .iter()
+            .map(|l| (l - self.target_mu) / self.target_sd)
+            .collect();
 
         // Xavier-ish init.
         let mut rng = Rng::new(self.seed);
@@ -126,7 +129,9 @@ impl Model for Mlp {
             .collect();
         self.b1 = vec![0.0; self.hidden];
         let hscale = (1.0 / self.hidden as f64).sqrt();
-        self.w2 = (0..self.hidden).map(|_| rng.next_gaussian() * hscale).collect();
+        self.w2 = (0..self.hidden)
+            .map(|_| rng.next_gaussian() * hscale)
+            .collect();
         self.b2 = 0.0;
 
         // SGD with momentum over shuffled epochs.
@@ -185,7 +190,10 @@ mod tests {
     fn learns_a_nonlinear_boundary() {
         // runtime = 60 for x in [0,1), 3600 for x in [1,2).
         let x: Vec<Vec<f64>> = (0..400).map(|i| vec![(i % 20) as f64 / 10.0]).collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] < 1.0 { 60.0 } else { 3_600.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] < 1.0 { 60.0 } else { 3_600.0 })
+            .collect();
         let mut m = Mlp::new(16, 80, 0.05, 7);
         m.fit(&x, &y, &vec![false; y.len()]);
         let lo = m.predict(&[0.3]);

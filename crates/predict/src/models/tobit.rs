@@ -45,6 +45,7 @@ impl Tobit {
     }
 
     /// Ridge OLS on `(x, targets)`; returns weights with bias last.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the math
     fn ols(&self, x: &[Vec<f64>], targets: &[f64]) -> Option<Vec<f64>> {
         let d = x[0].len() + 1;
         let mut xtx = vec![vec![0.0f64; d]; d];

@@ -23,13 +23,13 @@ pub fn last2_walltimes(trace: &Trace, margin: f64) -> Vec<Duration> {
     assert!(margin > 0.0, "safety margin must be positive");
     let mut history: HashMap<UserId, (f64, Option<f64>)> = HashMap::new(); // (last, prev)
     let mut global_sum = 0.0f64;
-    let mut global_n = 0u64;
     let mut out = Vec::with_capacity(trace.len());
-    for j in trace.jobs() {
+    // `seen` = jobs already absorbed into the running global mean.
+    for (seen, j) in trace.jobs().iter().enumerate() {
         let base = match history.get(&j.user) {
             Some(&(last, Some(prev))) => 0.5 * (last + prev),
             Some(&(last, None)) => last,
-            None if global_n > 0 => global_sum / global_n as f64,
+            None if seen > 0 => global_sum / seen as f64,
             None => 3_600.0, // cold start: an hour, the classic default
         };
         out.push(((base * margin) as Duration).max(60));
@@ -43,7 +43,6 @@ pub fn last2_walltimes(trace: &Trace, margin: f64) -> Vec<Duration> {
             })
             .or_insert((runtime, None));
         global_sum += runtime;
-        global_n += 1;
     }
     out
 }

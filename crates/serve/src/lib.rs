@@ -1,0 +1,34 @@
+//! # lumos-serve
+//!
+//! An online scheduling service wrapped around the incremental simulation
+//! core ([`lumos_sim::SimSession`]). Clients talk newline-delimited JSON
+//! over TCP (and optionally stdin): submit jobs, cancel them, query their
+//! lifecycle, read live metrics, advance virtual time, and shut the
+//! service down with a graceful drain.
+//!
+//! Because the online path and batch replay ([`lumos_sim::simulate`])
+//! share one event loop, a server fed an arrival sequence reports — in
+//! its shutdown response — exactly the metrics a batch replay of that
+//! sequence produces. The service is therefore also a testbed: point a
+//! load generator at it (see `examples/serve_load.rs`) and the answers
+//! are reproducible.
+//!
+//! ```no_run
+//! use lumos_core::SystemSpec;
+//! use lumos_serve::{ServeConfig, Server};
+//!
+//! let config = ServeConfig::new(SystemSpec::theta());
+//! let server = Server::bind("127.0.0.1:7421", config).unwrap();
+//! server.run(false).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use metrics::{LiveMetrics, WAIT_PERCENTILES};
+pub use protocol::{Request, Response, ServeStats, SubmitSpec};
+pub use server::{ServeConfig, Server};

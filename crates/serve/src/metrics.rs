@@ -1,0 +1,106 @@
+//! Live scheduler metrics, fed from drained session events.
+//!
+//! Wait-time percentiles use the P² streaming estimators from
+//! `lumos-stats`, so the server reports p50/p90/p99 waits in O(1) memory
+//! no matter how long it runs.
+
+use lumos_core::Duration;
+use lumos_sim::{SimEvent, SimSession};
+use lumos_stats::{QuantileBank, Summary};
+
+use crate::protocol::ServeStats;
+
+/// The percentiles `stats` reports.
+pub const WAIT_PERCENTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+/// Streaming aggregates over everything the session has done so far.
+pub struct LiveMetrics {
+    bsld_bound: Duration,
+    wait_quantiles: QuantileBank,
+    wait_summary: Summary,
+    bsld_summary: Summary,
+    rejected: u64,
+}
+
+impl LiveMetrics {
+    /// Empty metrics with the configured bounded-slowdown bound.
+    #[must_use]
+    pub fn new(bsld_bound: Duration) -> Self {
+        Self {
+            bsld_bound,
+            wait_quantiles: QuantileBank::new(&WAIT_PERCENTILES),
+            wait_summary: Summary::new(),
+            bsld_summary: Summary::new(),
+            rejected: 0,
+        }
+    }
+
+    /// Records a refused submission (validation failure or backpressure).
+    pub fn record_rejection(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Absorbs drained session events; `session` resolves job lookups for
+    /// slowdown computation.
+    pub fn absorb(&mut self, events: &[SimEvent], session: &SimSession) {
+        for event in events {
+            if let SimEvent::Started { id, wait, .. } = event {
+                self.wait_quantiles.observe(*wait as f64);
+                self.wait_summary.add(*wait as f64);
+                if let Some(bsld) = session
+                    .job(*id)
+                    .and_then(|j| j.bounded_slowdown(self.bsld_bound))
+                {
+                    self.bsld_summary.add(bsld);
+                }
+            }
+        }
+    }
+
+    /// The `stats` payload for the current session state.
+    /// `extra_rejected` counts rejections recorded outside the scheduler
+    /// loop (connection-side backpressure).
+    #[must_use]
+    pub fn report(&self, session: &SimSession, extra_rejected: u64) -> ServeStats {
+        ServeStats {
+            snapshot: session.snapshot(),
+            wait_quantiles: self.wait_quantiles.estimates(),
+            mean_wait: self.wait_summary.mean(),
+            mean_bsld: self.bsld_summary.mean(),
+            rejected: self.rejected + extra_rejected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_core::{Job, SystemSpec};
+    use lumos_sim::SimConfig;
+
+    #[test]
+    fn absorb_tracks_started_jobs() {
+        let mut spec = SystemSpec::theta();
+        spec.total_nodes = 100;
+        spec.units_per_node = 1;
+        spec.total_units = 100;
+        let mut session = SimSession::new(&spec, SimConfig::default());
+        let mut metrics = LiveMetrics::new(10);
+
+        session.submit(Job::basic(1, 1, 0, 50, 100)).unwrap();
+        session.submit(Job::basic(2, 1, 0, 50, 100)).unwrap();
+        session.advance_to(200);
+        let events = session.drain_events();
+        metrics.absorb(&events, &session);
+
+        let stats = metrics.report(&session, 0);
+        assert_eq!(stats.snapshot.finished, 2);
+        // Job 1 waits 0, job 2 waits 50.
+        assert!((stats.mean_wait - 25.0).abs() < 1e-9);
+        assert!(stats.mean_bsld >= 1.0);
+        assert_eq!(stats.rejected, 0);
+        let (p, est) = stats.wait_quantiles[0];
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!(est.is_some());
+    }
+}

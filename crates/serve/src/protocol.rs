@@ -1,0 +1,195 @@
+//! The NDJSON wire protocol.
+//!
+//! One JSON document per line in both directions. Requests and responses
+//! are externally tagged: struct-carrying commands are single-key objects
+//! (`{"submit": {...}}`), argument-less commands are bare strings
+//! (`"stats"`). Every request line produces exactly one response line, in
+//! order.
+//!
+//! ```text
+//! → {"Submit": {"job": {"id": 1, "procs": 4, "runtime": 120, "walltime": 300}}}
+//! ← {"Submitted": {"id": 1, "state": "Waiting"}}
+//! → {"Advance": {"to": 500}}
+//! ← {"Advanced": {"now": 500}}
+//! → "Stats"
+//! ← {"Stats": {"stats": {...}}}
+//! → "Shutdown"
+//! ← {"Bye": {"metrics": {...}}}
+//! ```
+
+use lumos_core::{Duration, Timestamp};
+use lumos_sim::{JobState, SessionSnapshot, SimMetrics};
+use serde::{Deserialize, Serialize};
+
+/// A job submission over the wire. Only `id`, `procs`, and `runtime` are
+/// required; the rest default like a trace job would.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmitSpec {
+    /// Client-chosen job id; must be unique within the session.
+    pub id: u64,
+    /// Requested resource units.
+    pub procs: u64,
+    /// True runtime in seconds (this service schedules *simulated* work).
+    pub runtime: Duration,
+    /// Requested walltime estimate; defaults to the runtime-derived plan.
+    pub walltime: Option<Duration>,
+    /// Submitting user id.
+    pub user: Option<u32>,
+    /// Arrival time in simulation seconds; defaults to the current
+    /// simulation time. Must not lie in the past.
+    pub submit: Option<Timestamp>,
+    /// Virtual-cluster binding (Philly-style systems).
+    pub virtual_cluster: Option<u16>,
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit a job.
+    #[allow(missing_docs)]
+    Submit { job: SubmitSpec },
+    /// Cancel a pending or waiting job.
+    #[allow(missing_docs)]
+    Cancel { id: u64 },
+    /// Query one job's lifecycle state.
+    #[allow(missing_docs)]
+    Query { id: u64 },
+    /// Advance simulation time (virtual-time servers only).
+    #[allow(missing_docs)]
+    Advance { to: Timestamp },
+    /// Live scheduler metrics.
+    Stats,
+    /// Raw session counters.
+    Snapshot,
+    /// Graceful shutdown: drain all queued and running jobs, then stop.
+    Shutdown,
+}
+
+/// Live metrics reported by `stats`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServeStats {
+    /// Raw session counters.
+    pub snapshot: SessionSnapshot,
+    /// Streaming wait-time quantile estimates `(p, seconds)`; `null`
+    /// before any job has started.
+    pub wait_quantiles: Vec<(f64, Option<f64>)>,
+    /// Mean observed waiting time (s) over started jobs.
+    pub mean_wait: f64,
+    /// Mean bounded slowdown over started jobs.
+    pub mean_bsld: f64,
+    /// Jobs whose submission was rejected (validation or backpressure).
+    pub rejected: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Response {
+    /// The job was accepted.
+    #[allow(missing_docs)]
+    Submitted { id: u64, state: JobState },
+    /// The submission was refused (validation failure or backpressure).
+    #[allow(missing_docs)]
+    Rejected { id: Option<u64>, reason: String },
+    /// Outcome of a cancel request.
+    #[allow(missing_docs)]
+    Cancelled { id: u64, ok: bool },
+    /// Answer to a query.
+    #[allow(missing_docs)]
+    Job {
+        id: u64,
+        state: JobState,
+        wait: Option<Duration>,
+    },
+    /// Simulation time after an advance.
+    #[allow(missing_docs)]
+    Advanced { now: Timestamp },
+    /// Live metrics.
+    #[allow(missing_docs)]
+    Stats { stats: ServeStats },
+    /// Raw session counters.
+    #[allow(missing_docs)]
+    Snapshot { snapshot: SessionSnapshot },
+    /// Final word before the server stops: metrics over the whole session
+    /// (exactly what a batch replay of the same arrivals would report),
+    /// when at least one job ran.
+    #[allow(missing_docs)]
+    Bye { metrics: Option<SimMetrics> },
+    /// The request could not be handled (parse error, unknown id, ...).
+    #[allow(missing_docs)]
+    Error { message: String },
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    /// Returns a human-readable message for malformed JSON or an unknown
+    /// command shape.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        serde_json::from_str(line.trim()).map_err(|e| format!("bad request: {e}"))
+    }
+
+    /// Serializes the request as one NDJSON line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("requests serialize")
+    }
+}
+
+impl Response {
+    /// Serializes the response as one NDJSON line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("responses serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_roundtrips() {
+        let req = Request::Submit {
+            job: SubmitSpec {
+                id: 7,
+                procs: 4,
+                runtime: 120,
+                walltime: Some(300),
+                user: None,
+                submit: Some(50),
+                virtual_cluster: None,
+            },
+        };
+        let line = req.to_line();
+        assert_eq!(Request::parse(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn optional_fields_default() {
+        let req = Request::parse(r#"{"Submit":{"job":{"id":1,"procs":2,"runtime":60}}}"#).unwrap();
+        match req {
+            Request::Submit { job } => {
+                assert_eq!(job.id, 1);
+                assert_eq!(job.walltime, None);
+                assert_eq!(job.submit, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unit_commands_are_bare_strings() {
+        assert_eq!(Request::parse(r#""Stats""#).unwrap(), Request::Stats);
+        assert_eq!(Request::parse(r#""Shutdown""#).unwrap(), Request::Shutdown);
+        assert_eq!(Request::Stats.to_line(), r#""Stats""#);
+    }
+
+    #[test]
+    fn malformed_lines_error_without_panicking() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("{").is_err());
+        assert!(Request::parse(r#"{"Nope": 1}"#).is_err());
+        assert!(Request::parse(r#"{"Submit":{"job":{"id":1}}}"#).is_err());
+    }
+}

@@ -1,0 +1,348 @@
+//! The scheduler service: one long-lived scheduling loop, many clients.
+//!
+//! Architecture: connection threads (one per TCP client, optionally one
+//! for stdin) parse NDJSON request lines and push them onto a **bounded**
+//! command queue; a single scheduler thread owns the [`SimSession`] and
+//! processes commands in arrival order, so no locks guard the simulation
+//! state. When the queue is full, submissions are rejected immediately
+//! with a reason — backpressure is explicit, never blocking — while
+//! cheap control commands (stats, query, ...) block for a slot.
+//!
+//! Time: with `time_scale > 0` the server maps wall-clock seconds onto
+//! simulation seconds (1 wall second = `time_scale` sim seconds) and
+//! advances the session before every command. With `time_scale == 0` the
+//! server is *virtual-time*: the clock only moves on explicit `Advance`
+//! commands, which makes runs deterministic and replayable.
+//!
+//! Shutdown: a `Shutdown` command stops command intake, drains every
+//! pending and running job to completion, and answers with the same
+//! [`SimMetrics`] a batch replay of the identical arrival sequence would
+//! produce.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Instant;
+
+use lumos_core::{Job, JobStatus, SystemSpec, Timestamp};
+use lumos_sim::{SimConfig, SimSession};
+
+use crate::metrics::LiveMetrics;
+use crate::protocol::{Request, Response, SubmitSpec};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The machine being scheduled.
+    pub system: SystemSpec,
+    /// Scheduling configuration (policy, backfill, ...).
+    pub sim: SimConfig,
+    /// Bounded command-queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Simulation seconds per wall-clock second; `0` = virtual time
+    /// (clock moves only on `Advance` commands).
+    pub time_scale: f64,
+}
+
+impl ServeConfig {
+    /// Defaults: virtual time, queue of 1024 commands.
+    #[must_use]
+    pub fn new(system: SystemSpec) -> Self {
+        Self {
+            system,
+            sim: SimConfig::default(),
+            queue_capacity: 1024,
+            time_scale: 0.0,
+        }
+    }
+}
+
+/// One queued command and the channel its response travels back on.
+struct Envelope {
+    req: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Shared connection-side state.
+struct Shared {
+    commands: SyncSender<Envelope>,
+    shutting_down: AtomicBool,
+    /// Submissions rejected by backpressure (queue full).
+    backpressure_rejects: AtomicU64,
+    queue_capacity: usize,
+}
+
+/// A bound scheduling server. Create with [`Server::bind`], then [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Binds the TCP listener (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn bind(addr: &str, config: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self { listener, config })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the scheduler loop until a `Shutdown` command, accepting TCP
+    /// clients (and stdin commands when `serve_stdin` is set, answering on
+    /// stdout). Blocks the calling thread.
+    ///
+    /// # Errors
+    /// Propagates socket errors from the initial setup.
+    pub fn run(self, serve_stdin: bool) -> io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let (tx, rx) = mpsc::sync_channel::<Envelope>(self.config.queue_capacity);
+        let shared = Arc::new(Shared {
+            commands: tx,
+            shutting_down: AtomicBool::new(false),
+            backpressure_rejects: AtomicU64::new(0),
+            queue_capacity: self.config.queue_capacity,
+        });
+
+        // Accept loop.
+        {
+            let shared = Arc::clone(&shared);
+            let listener = self.listener.try_clone()?;
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutting_down.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { break };
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || {
+                        let _ = serve_connection(stream, &shared);
+                    });
+                }
+            });
+        }
+
+        // Stdin loop.
+        if serve_stdin {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let stdin = io::stdin();
+                let stdout = io::stdout();
+                let _ = serve_lines(stdin.lock(), stdout.lock(), &shared);
+            });
+        }
+
+        scheduler_loop(&self.config, &rx, &shared);
+
+        // Wake the accept loop so its thread exits.
+        shared.shutting_down.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(addr);
+        Ok(())
+    }
+}
+
+/// The single thread that owns the simulation.
+fn scheduler_loop(config: &ServeConfig, rx: &Receiver<Envelope>, shared: &Shared) {
+    let mut session = SimSession::new(&config.system, config.sim);
+    let mut metrics = LiveMetrics::new(config.sim.bsld_bound);
+    let epoch = Instant::now();
+    // Sessions start at t = 0, not at the dawn of representable time.
+    session.advance_to(0);
+
+    while let Ok(Envelope { req, reply }) = rx.recv() {
+        if config.time_scale > 0.0 {
+            let sim_now = (epoch.elapsed().as_secs_f64() * config.time_scale).floor() as Timestamp;
+            session.advance_to(sim_now);
+        }
+        let shutdown = matches!(req, Request::Shutdown);
+        let response = handle(req, &mut session, &mut metrics, config, shared);
+        let events = session.drain_events();
+        metrics.absorb(&events, &session);
+        let _ = reply.send(response);
+        if shutdown {
+            break;
+        }
+    }
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    // Refuse anything that squeezed into the queue behind the shutdown.
+    while let Ok(Envelope { reply, .. }) = rx.try_recv() {
+        let _ = reply.send(Response::Error {
+            message: "server is shutting down".into(),
+        });
+    }
+}
+
+fn handle(
+    req: Request,
+    session: &mut SimSession,
+    metrics: &mut LiveMetrics,
+    config: &ServeConfig,
+    shared: &Shared,
+) -> Response {
+    match req {
+        Request::Submit { job } => submit(job, session, metrics),
+        Request::Cancel { id } => Response::Cancelled {
+            id,
+            ok: session.cancel(id),
+        },
+        Request::Query { id } => match session.query(id) {
+            Some(state) => Response::Job {
+                id,
+                state,
+                wait: session.job(id).and_then(|j| j.wait),
+            },
+            None => Response::Error {
+                message: format!("unknown job id {id}"),
+            },
+        },
+        Request::Advance { to } => {
+            if config.time_scale > 0.0 {
+                Response::Error {
+                    message: "Advance is only valid on virtual-time servers (--time-scale 0)"
+                        .into(),
+                }
+            } else {
+                session.advance_to(to);
+                Response::Advanced { now: session.now() }
+            }
+        }
+        Request::Stats => Response::Stats {
+            stats: metrics.report(session, shared.backpressure_rejects.load(Ordering::Relaxed)),
+        },
+        Request::Snapshot => Response::Snapshot {
+            snapshot: session.snapshot(),
+        },
+        Request::Shutdown => {
+            session.advance_to_completion();
+            let events = session.drain_events();
+            metrics.absorb(&events, session);
+            let snap = session.snapshot();
+            let ran_any = snap.submitted > snap.cancelled;
+            // `into_result` consumes the session; replace it with an empty
+            // one (nothing can reach it — the loop exits right after).
+            let drained = std::mem::replace(session, SimSession::new(&config.system, config.sim));
+            Response::Bye {
+                metrics: ran_any.then(|| drained.into_result().metrics),
+            }
+        }
+    }
+}
+
+fn submit(spec: SubmitSpec, session: &mut SimSession, metrics: &mut LiveMetrics) -> Response {
+    if session.query(spec.id).is_some() {
+        metrics.record_rejection();
+        return Response::Rejected {
+            id: Some(spec.id),
+            reason: format!("duplicate job id {}", spec.id),
+        };
+    }
+    let now_floor = session.now().max(0);
+    let job = Job {
+        id: spec.id,
+        user: spec.user.unwrap_or(0),
+        submit: spec.submit.unwrap_or(now_floor),
+        wait: None,
+        runtime: spec.runtime,
+        walltime: spec.walltime,
+        procs: spec.procs,
+        nodes: u32::try_from(spec.procs).unwrap_or(u32::MAX),
+        status: JobStatus::Passed,
+        virtual_cluster: spec.virtual_cluster,
+    };
+    match session.submit(job) {
+        Ok(()) => {
+            // Process an arrival scheduled at or before the current
+            // instant immediately, so the reply reflects its real state.
+            session.advance_to(session.now());
+            Response::Submitted {
+                id: spec.id,
+                state: session.query(spec.id).expect("just submitted"),
+            }
+        }
+        Err(e) => {
+            metrics.record_rejection();
+            Response::Rejected {
+                id: Some(spec.id),
+                reason: e.to_string(),
+            }
+        }
+    }
+}
+
+/// Serves one TCP client.
+fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let writer = BufWriter::new(stream);
+    serve_lines(reader, writer, shared)
+}
+
+/// The request/response loop shared by TCP connections and stdin.
+fn serve_lines<R: BufRead, W: Write>(reader: R, mut writer: W, shared: &Shared) -> io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = dispatch(&line, shared);
+        writeln!(writer, "{}", response.to_line())?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Parses one line, routes it through the bounded queue, and waits for
+/// the scheduler's answer.
+fn dispatch(line: &str, shared: &Shared) -> Response {
+    let req = match Request::parse(line) {
+        Ok(req) => req,
+        Err(message) => return Response::Error { message },
+    };
+    let submit_id = match &req {
+        Request::Submit { job } => Some(job.id),
+        _ => None,
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let envelope = Envelope {
+        req,
+        reply: reply_tx,
+    };
+    let closed = "server is shutting down";
+    if let Some(id) = submit_id {
+        // Submissions never block: a full queue is an explicit rejection.
+        match shared.commands.try_send(envelope) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                shared.backpressure_rejects.fetch_add(1, Ordering::Relaxed);
+                return Response::Rejected {
+                    id: Some(id),
+                    reason: format!(
+                        "submission queue full ({} commands queued); retry later",
+                        shared.queue_capacity
+                    ),
+                };
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return Response::Error {
+                    message: closed.into(),
+                }
+            }
+        }
+    } else if shared.commands.send(envelope).is_err() {
+        return Response::Error {
+            message: closed.into(),
+        };
+    }
+    reply_rx.recv().unwrap_or(Response::Error {
+        message: closed.into(),
+    })
+}

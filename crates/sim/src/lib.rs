@@ -13,9 +13,11 @@
 //! optional **relaxed** and **adaptive-relaxed** reservation handling
 //! (paper §VI.B, Eq. 1).
 //!
-//! Entry point: [`simulate`], which replays a [`Trace`] and returns the
+//! Entry points: [`simulate`], which replays a [`Trace`] and returns the
 //! jobs with observed waits plus scheduling metrics (`util`, `wait`,
-//! `bsld`, `violation`) and a utilization timeline (Fig. 3).
+//! `bsld`, `violation`) and a utilization timeline (Fig. 3); and
+//! [`SimSession`], the same engine driven incrementally (submit jobs one
+//! at a time, advance virtual time explicitly) for online serving.
 //!
 //! [`Trace`]: lumos_core::Trace
 
@@ -27,9 +29,11 @@ pub mod cluster;
 pub mod metrics;
 pub mod policy;
 pub mod profile;
+pub mod session;
 pub mod simulator;
 
 pub use backfill::{Backfill, Relax};
 pub use metrics::{SimMetrics, UtilizationTimeline};
 pub use policy::Policy;
+pub use session::{JobState, SessionSnapshot, SimEvent, SimSession};
 pub use simulator::{simulate, simulate_with_walltimes, SimConfig, SimResult};

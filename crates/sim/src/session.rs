@@ -1,0 +1,848 @@
+//! Incremental simulation sessions.
+//!
+//! [`SimSession`] is the discrete-event core of the simulator exposed as a
+//! stepwise API: jobs are submitted one at a time ([`SimSession::submit`]),
+//! virtual time moves forward explicitly ([`SimSession::advance_to`]), and
+//! observers read what happened through [`SimSession::drain_events`] and
+//! [`SimSession::snapshot`]. Batch replay ([`crate::simulate`]) is a thin
+//! wrapper — submit everything, run to completion — so both paths share one
+//! event loop and produce identical schedules for identical arrivals.
+//!
+//! The event model is unchanged from the batch engine: arrivals and
+//! completions are the only events; at each event time the affected
+//! partitions re-run a scheduling pass (policy-ordered head start +
+//! backfilling). Determinism: ties are broken by `(priority, submit, id)`
+//! everywhere, so interleaving `submit`/`advance_to` calls in any valid
+//! order yields the same schedule as one batch run.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use lumos_core::{CoreError, Duration, Job, Result, SystemSpec, Timestamp};
+use serde::Serialize;
+
+use crate::backfill::Backfill;
+use crate::cluster::{Cluster, RunningJob};
+use crate::metrics::{SimMetrics, UtilizationTimeline};
+use crate::profile::CapacityProfile;
+use crate::simulator::{SimConfig, SimResult};
+
+/// Lifecycle state of a job inside a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum JobState {
+    /// Submitted, but its submit time is still in the future.
+    Pending,
+    /// Arrived and sitting in a partition's waiting queue.
+    Waiting,
+    /// Currently executing.
+    Running,
+    /// Completed execution.
+    Finished,
+    /// Cancelled before it started.
+    Cancelled,
+}
+
+/// Something that happened inside the session, in event order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SimEvent {
+    /// A job left the waiting queue and began executing.
+    Started {
+        /// Job id.
+        id: u64,
+        /// Simulation time it started.
+        time: Timestamp,
+        /// Observed waiting time (`start − submit`).
+        wait: Duration,
+    },
+    /// A running job completed.
+    Finished {
+        /// Job id.
+        id: u64,
+        /// Simulation time it finished.
+        time: Timestamp,
+    },
+    /// A job was cancelled before it started.
+    Cancelled {
+        /// Job id.
+        id: u64,
+        /// Simulation time of the cancellation.
+        time: Timestamp,
+    },
+}
+
+/// Point-in-time view of a session's state.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SessionSnapshot {
+    /// Current simulation time (last processed or advanced-to instant).
+    pub now: Timestamp,
+    /// Jobs ever submitted (including finished and cancelled).
+    pub submitted: usize,
+    /// Jobs submitted whose arrival time is still in the future.
+    pub pending: usize,
+    /// Jobs sitting in waiting queues across all partitions.
+    pub waiting: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Jobs that completed.
+    pub finished: usize,
+    /// Jobs cancelled before starting.
+    pub cancelled: usize,
+    /// Resource units in use.
+    pub used_units: u64,
+    /// Total machine capacity in units.
+    pub capacity: u64,
+    /// Instantaneous utilization (`used_units / capacity`).
+    pub utilization: f64,
+}
+
+/// An incremental scheduling simulation.
+///
+/// Jobs must be submitted with `submit >= now` (no rewriting history);
+/// `advance_to` processes all arrivals and completions up to and including
+/// the target time. See the module docs for the determinism contract.
+pub struct SimSession {
+    config: SimConfig,
+    jobs: Vec<Job>,
+    /// Per-job effective request, clamped to its partition's capacity so
+    /// every job is schedulable.
+    procs_eff: Vec<u64>,
+    /// Per-job walltime the scheduler plans with.
+    plan_wall: Vec<Duration>,
+    /// Per-job partition.
+    part_of: Vec<usize>,
+    /// Per-job cached policy key.
+    key_of: Vec<f64>,
+    /// Per-job promised (reserved) start time, if one was ever issued.
+    promised: Vec<Option<Timestamp>>,
+    /// Per-job lifecycle state.
+    state: Vec<JobState>,
+    /// First job table index for each id (for `query`/`cancel`).
+    by_id: HashMap<u64, usize>,
+    /// Submitted jobs not yet arrived, ascending by `(submit, id)`.
+    pending: VecDeque<usize>,
+    cluster: Cluster,
+    finish_heap: BinaryHeap<Reverse<(Timestamp, usize)>>,
+    violations: Vec<(Timestamp, Timestamp)>,
+    timeline: Vec<(Timestamp, u64)>,
+    /// Per-partition running-maximum queue length (the adaptive signal).
+    max_queue: Vec<usize>,
+    /// Global maximum total queue length.
+    max_queue_total: usize,
+    /// Current simulation time.
+    clock: Timestamp,
+    /// Scratch buffer: partitions touched by the current event.
+    dirty: Vec<usize>,
+    /// Event log since the last `drain_events` (off for batch replay,
+    /// where nobody drains and the log would only cost memory).
+    pub(crate) record_events: bool,
+    events: Vec<SimEvent>,
+    finished_count: usize,
+    cancelled_count: usize,
+}
+
+impl SimSession {
+    /// Creates an empty session for `system` under `config`.
+    #[must_use]
+    pub fn new(system: &SystemSpec, config: SimConfig) -> Self {
+        let cluster = Cluster::new(system, config.respect_virtual_clusters);
+        let parts = cluster.partition_count();
+        Self {
+            config,
+            jobs: Vec::new(),
+            procs_eff: Vec::new(),
+            plan_wall: Vec::new(),
+            part_of: Vec::new(),
+            key_of: Vec::new(),
+            promised: Vec::new(),
+            state: Vec::new(),
+            by_id: HashMap::new(),
+            pending: VecDeque::new(),
+            cluster,
+            finish_heap: BinaryHeap::new(),
+            violations: Vec::new(),
+            timeline: Vec::new(),
+            max_queue: vec![0; parts],
+            max_queue_total: 0,
+            clock: Timestamp::MIN,
+            dirty: Vec::new(),
+            record_events: true,
+            events: Vec::new(),
+            finished_count: 0,
+            cancelled_count: 0,
+        }
+    }
+
+    /// Current simulation time. `Timestamp::MIN` until the first
+    /// `advance_to` or processed event.
+    #[must_use]
+    pub fn now(&self) -> Timestamp {
+        self.clock
+    }
+
+    /// The session's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Submits a job using its own planning walltime.
+    ///
+    /// # Errors
+    /// Rejects jobs submitted in the simulation past, with zero or
+    /// machine-oversized requests, or with negative runtime.
+    pub fn submit(&mut self, job: Job) -> Result<()> {
+        self.submit_with_walltime(job, None)
+    }
+
+    /// Submits a job with a scheduler-side walltime estimate overriding the
+    /// user-supplied one (the runtime-predictor hook; floored at 1 s). The
+    /// job still runs its true runtime — only the scheduler's plan changes.
+    ///
+    /// # Errors
+    /// Same contract as [`SimSession::submit`].
+    pub fn submit_with_walltime(&mut self, mut job: Job, walltime: Option<Duration>) -> Result<()> {
+        if job.submit < self.clock {
+            return Err(CoreError::InvalidTime {
+                job: job.id,
+                what: "submission before current simulation time",
+            });
+        }
+        if job.runtime < 0 {
+            return Err(CoreError::InvalidTime {
+                job: job.id,
+                what: "negative runtime",
+            });
+        }
+        let capacity = self.cluster.total_capacity();
+        if job.procs == 0 || job.procs > capacity {
+            return Err(CoreError::OversizedJob {
+                job: job.id,
+                requested: job.procs,
+                capacity,
+            });
+        }
+        job.wait = None;
+
+        let idx = self.jobs.len();
+        let part = self.cluster.route(job.virtual_cluster, job.procs);
+        let cap = self.cluster.partition(part).capacity;
+        let wall = match walltime {
+            Some(w) => w.max(1),
+            None => job.planning_walltime().max(1),
+        };
+        self.part_of.push(part);
+        self.procs_eff.push(job.procs.min(cap));
+        self.plan_wall.push(wall);
+        self.key_of.push(self.config.policy.key_with(&job, wall));
+        self.promised.push(None);
+        self.state.push(JobState::Pending);
+        self.by_id.entry(job.id).or_insert(idx);
+
+        let key = (job.submit, job.id);
+        self.jobs.push(job);
+        let jobs = &self.jobs;
+        let pos = self
+            .pending
+            .partition_point(|&i| (jobs[i].submit, jobs[i].id) <= key);
+        self.pending.insert(pos, idx);
+        Ok(())
+    }
+
+    /// Cancels a submitted job that has not started. Returns `true` if the
+    /// job was pending or waiting and is now cancelled; `false` if the id
+    /// is unknown or the job already started, finished, or was cancelled.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        let Some(&idx) = self.by_id.get(&id) else {
+            return false;
+        };
+        match self.state[idx] {
+            JobState::Pending => {
+                let pos = self
+                    .pending
+                    .iter()
+                    .position(|&i| i == idx)
+                    .expect("pending job is in the pending queue");
+                self.pending.remove(pos);
+            }
+            JobState::Waiting => {
+                let part = self.part_of[idx];
+                let waiting = &mut self.cluster.partition_mut(part).waiting;
+                let pos = waiting
+                    .iter()
+                    .position(|&i| i == idx)
+                    .expect("waiting job is in its partition queue");
+                waiting.remove(pos);
+                // The queue shrank mid-timeline; the head (and backfill
+                // candidates) may now be startable without waiting for the
+                // next arrival or completion.
+                self.schedule(part, self.clock);
+                self.record_state_point(self.clock);
+            }
+            JobState::Running | JobState::Finished | JobState::Cancelled => return false,
+        }
+        self.state[idx] = JobState::Cancelled;
+        self.cancelled_count += 1;
+        if self.record_events {
+            self.events.push(SimEvent::Cancelled {
+                id,
+                time: self.clock,
+            });
+        }
+        true
+    }
+
+    /// Lifecycle state of the job with `id` (first submission wins when ids
+    /// collide). `None` for unknown ids.
+    #[must_use]
+    pub fn query(&self, id: u64) -> Option<JobState> {
+        self.by_id.get(&id).map(|&idx| self.state[idx])
+    }
+
+    /// The job record for `id`, with its observed wait filled in once it
+    /// has started.
+    #[must_use]
+    pub fn job(&self, id: u64) -> Option<&Job> {
+        self.by_id.get(&id).map(|&idx| &self.jobs[idx])
+    }
+
+    /// Time of the next arrival or completion, if any work remains.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<Timestamp> {
+        let t_arr = self.pending.front().map(|&i| self.jobs[i].submit);
+        let t_fin = self.finish_heap.peek().map(|Reverse((t, _))| *t);
+        match (t_arr, t_fin) {
+            (Some(a), Some(f)) => Some(a.min(f)),
+            (Some(a), None) => Some(a),
+            (None, Some(f)) => Some(f),
+            (None, None) => None,
+        }
+    }
+
+    /// Advances simulation time to `t`, processing every arrival and
+    /// completion at times `<= t` in event order. Monotone: a target in the
+    /// past is a no-op.
+    pub fn advance_to(&mut self, t: Timestamp) {
+        while let Some(te) = self.next_event_time() {
+            if te > t {
+                break;
+            }
+            self.step(te);
+        }
+        self.clock = self.clock.max(t);
+    }
+
+    /// Runs until no arrivals or completions remain.
+    pub fn advance_to_completion(&mut self) {
+        while let Some(te) = self.next_event_time() {
+            self.step(te);
+        }
+    }
+
+    /// Returns and clears the event log accumulated since the last drain.
+    pub fn drain_events(&mut self) -> Vec<SimEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Point-in-time counters for monitoring.
+    #[must_use]
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let capacity = self.cluster.total_capacity();
+        let used = self.cluster.used();
+        SessionSnapshot {
+            now: self.clock,
+            submitted: self.jobs.len(),
+            pending: self.pending.len(),
+            waiting: self.cluster.queue_len(),
+            running: self.finish_heap.len(),
+            finished: self.finished_count,
+            cancelled: self.cancelled_count,
+            used_units: used,
+            capacity,
+            utilization: if capacity == 0 {
+                0.0
+            } else {
+                used as f64 / capacity as f64
+            },
+        }
+    }
+
+    /// Finishes all outstanding work and folds the session into a
+    /// [`SimResult`]. Cancelled jobs are excluded from the metrics.
+    ///
+    /// # Panics
+    /// Panics if no job ever ran (metrics need at least one).
+    #[must_use]
+    pub fn into_result(mut self) -> SimResult {
+        self.advance_to_completion();
+        let capacity = self.cluster.total_capacity();
+        let jobs: Vec<Job> = if self.cancelled_count > 0 {
+            self.jobs
+                .iter()
+                .zip(&self.state)
+                .filter(|&(_, &s)| s != JobState::Cancelled)
+                .map(|(j, _)| j.clone())
+                .collect()
+        } else {
+            self.jobs
+        };
+        debug_assert!(jobs.iter().all(|j| j.wait.is_some()));
+        let metrics =
+            SimMetrics::compute(&jobs, capacity, self.config.bsld_bound, &self.violations);
+        SimResult {
+            metrics,
+            timeline: UtilizationTimeline {
+                capacity,
+                points: self.timeline,
+            },
+            max_queue_len: self.max_queue_total,
+            jobs,
+        }
+    }
+
+    // ---- event loop ---------------------------------------------------
+
+    /// Processes every event at time `now` (the next event time): all
+    /// completions, then all arrivals, then one scheduling pass per touched
+    /// partition.
+    fn step(&mut self, now: Timestamp) {
+        self.clock = self.clock.max(now);
+        let mut dirty = std::mem::take(&mut self.dirty);
+        dirty.clear();
+        // 1. Completions at `now`.
+        while let Some(&Reverse((t, idx))) = self.finish_heap.peek() {
+            if t > now {
+                break;
+            }
+            self.finish_heap.pop();
+            let part = self.part_of[idx];
+            self.cluster.partition_mut(part).finish(idx);
+            self.state[idx] = JobState::Finished;
+            self.finished_count += 1;
+            if self.record_events {
+                self.events.push(SimEvent::Finished {
+                    id: self.jobs[idx].id,
+                    time: now,
+                });
+            }
+            if !dirty.contains(&part) {
+                dirty.push(part);
+            }
+        }
+        // 2. Arrivals at `now`.
+        while let Some(&idx) = self.pending.front() {
+            if self.jobs[idx].submit > now {
+                break;
+            }
+            self.pending.pop_front();
+            let part = self.part_of[idx];
+            self.state[idx] = JobState::Waiting;
+            self.enqueue(part, idx);
+            if !dirty.contains(&part) {
+                dirty.push(part);
+            }
+        }
+        // 3. Scheduling passes.
+        dirty.sort_unstable();
+        for &part in &dirty {
+            self.schedule(part, now);
+        }
+        self.dirty = dirty;
+        self.record_state_point(now);
+    }
+
+    /// Queue-depth and timeline bookkeeping after a state change at `now`.
+    fn record_state_point(&mut self, now: Timestamp) {
+        self.max_queue_total = self.max_queue_total.max(self.cluster.queue_len());
+        if self.config.record_timeline {
+            let used = self.cluster.used();
+            if self.timeline.last().map(|&(_, u)| u) != Some(used) {
+                self.timeline.push((now, used));
+            } else if let Some(last) = self.timeline.last_mut() {
+                last.0 = last.0.max(now);
+            }
+        }
+    }
+
+    /// Inserts `idx` into its partition's priority-sorted waiting list.
+    fn enqueue(&mut self, part: usize, idx: usize) {
+        let key = (self.key_of[idx], self.jobs[idx].submit, self.jobs[idx].id);
+        let jobs = &self.jobs;
+        let key_of = &self.key_of;
+        let waiting = &mut self.cluster.partition_mut(part).waiting;
+        let pos = waiting
+            .partition_point(|&other| (key_of[other], jobs[other].submit, jobs[other].id) <= key);
+        waiting.insert(pos, idx);
+    }
+
+    /// Starts job `idx` at `now` on `part` (must fit).
+    fn start(&mut self, part: usize, idx: usize, now: Timestamp) {
+        let job = &mut self.jobs[idx];
+        debug_assert!(job.wait.is_none(), "job started twice");
+        job.wait = Some(now - job.submit);
+        let running = RunningJob {
+            idx,
+            procs: self.procs_eff[idx],
+            end_estimate: now + self.plan_wall[idx],
+            finish: now + job.runtime,
+        };
+        self.state[idx] = JobState::Running;
+        self.cluster.partition_mut(part).start(running);
+        self.finish_heap.push(Reverse((running.finish, idx)));
+        if let Some(promise) = self.promised[idx] {
+            self.violations.push((promise, now));
+        }
+        if self.record_events {
+            let job = &self.jobs[idx];
+            self.events.push(SimEvent::Started {
+                id: job.id,
+                time: now,
+                wait: now - job.submit,
+            });
+        }
+    }
+
+    /// One scheduling pass on a partition.
+    fn schedule(&mut self, part: usize, now: Timestamp) {
+        // Start from the head while it fits.
+        loop {
+            let p = self.cluster.partition(part);
+            match p.waiting.first() {
+                Some(&head) if self.procs_eff[head] <= p.free => {
+                    self.cluster.partition_mut(part).waiting.remove(0);
+                    self.start(part, head, now);
+                }
+                _ => break,
+            }
+        }
+        let qlen = self.cluster.partition(part).waiting.len();
+        if qlen == 0 {
+            return;
+        }
+        self.max_queue[part] = self.max_queue[part].max(qlen);
+        // Nothing can start while zero units are free — neither the head
+        // nor any backfill candidate — so skip the (O(queue + running))
+        // backfill pass entirely. On saturated systems this short-circuits
+        // the majority of arrival events.
+        if self.cluster.partition(part).free == 0 {
+            return;
+        }
+        match self.config.backfill {
+            Backfill::None => {}
+            Backfill::Easy => self.schedule_easy(part, now),
+            Backfill::Conservative => self.schedule_conservative(part, now),
+        }
+    }
+
+    /// EASY backfilling with (possibly relaxed) head reservation.
+    fn schedule_easy(&mut self, part: usize, now: Timestamp) {
+        loop {
+            let (head, shadow, extra) = {
+                let p = self.cluster.partition(part);
+                let head = p.waiting[0];
+                // The running set is end-sorted; clamping past estimates to
+                // now+1 only flattens the prefix, preserving the order.
+                let profile = CapacityProfile::from_sorted_running(
+                    now,
+                    p.capacity,
+                    p.running()
+                        .iter()
+                        .map(|r| (r.end_estimate.max(now + 1), r.procs)),
+                );
+                let shadow = profile
+                    .earliest_forever(now, self.procs_eff[head])
+                    .expect("procs_eff ≤ partition capacity");
+                let extra = profile.free_at(shadow).saturating_sub(self.procs_eff[head]);
+                (head, shadow, extra)
+            };
+            if self.promised[head].is_none() {
+                self.promised[head] = Some(shadow);
+            }
+            let qlen = self.cluster.partition(part).waiting.len();
+            let allowance = self.config.relax.allowance(
+                shadow - self.jobs[head].submit,
+                qlen,
+                self.max_queue[part],
+            );
+
+            // Scan backfill candidates in priority order.
+            let mut extra_remaining = extra;
+            let mut started_any = false;
+            let mut i = 1usize;
+            loop {
+                let p = self.cluster.partition(part);
+                if i >= p.waiting.len() {
+                    break;
+                }
+                let cand = p.waiting[i];
+                let procs = self.procs_eff[cand];
+                if procs <= p.free {
+                    let end = now + self.plan_wall[cand];
+                    let harmless = end <= shadow;
+                    let in_extra = procs <= extra_remaining;
+                    let in_allowance = end <= shadow + allowance;
+                    if harmless || in_extra || in_allowance {
+                        if !harmless && in_extra {
+                            extra_remaining -= procs;
+                        }
+                        self.cluster.partition_mut(part).waiting.remove(i);
+                        self.start(part, cand, now);
+                        started_any = true;
+                        continue; // same i now points at the next candidate
+                    }
+                }
+                i += 1;
+            }
+            if !started_any {
+                break;
+            }
+            // Free capacity changed; head might have become startable via
+            // cascaded completions elsewhere — re-run the head loop.
+            loop {
+                let p = self.cluster.partition(part);
+                match p.waiting.first() {
+                    Some(&h) if self.procs_eff[h] <= p.free => {
+                        self.cluster.partition_mut(part).waiting.remove(0);
+                        self.start(part, h, now);
+                    }
+                    _ => break,
+                }
+            }
+            if self.cluster.partition(part).waiting.is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// Conservative backfilling: every queued job gets a planned slot in a
+    /// shared capacity profile; whoever's slot is "now" starts.
+    fn schedule_conservative(&mut self, part: usize, now: Timestamp) {
+        let (mut profile, waiting) = {
+            let p = self.cluster.partition(part);
+            (
+                CapacityProfile::from_sorted_running(
+                    now,
+                    p.capacity,
+                    p.running()
+                        .iter()
+                        .map(|r| (r.end_estimate.max(now + 1), r.procs)),
+                ),
+                p.waiting.clone(),
+            )
+        };
+        let mut to_start = Vec::new();
+        for &idx in &waiting {
+            let procs = self.procs_eff[idx];
+            let wall = self.plan_wall[idx];
+            let s = profile
+                .earliest_fit(now, procs, wall)
+                .expect("procs_eff ≤ partition capacity");
+            profile.reserve(s, s + wall, procs);
+            if self.promised[idx].is_none() {
+                self.promised[idx] = Some(s);
+            }
+            if s == now {
+                to_start.push(idx);
+            }
+        }
+        for idx in to_start {
+            let p = self.cluster.partition_mut(part);
+            let pos = p
+                .waiting
+                .iter()
+                .position(|&w| w == idx)
+                .expect("job is waiting");
+            p.waiting.remove(pos);
+            self.start(part, idx, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use lumos_core::{JobStatus, Trace};
+
+    fn tiny() -> SystemSpec {
+        let mut s = SystemSpec::theta();
+        s.name = "tiny".into();
+        s.total_nodes = 100;
+        s.units_per_node = 1;
+        s.total_units = 100;
+        s
+    }
+
+    fn job(id: u64, submit: i64, runtime: i64, procs: u64, walltime: i64) -> Job {
+        Job {
+            id,
+            user: 1,
+            submit,
+            wait: None,
+            runtime,
+            walltime: Some(walltime),
+            procs,
+            nodes: procs as u32,
+            status: JobStatus::Passed,
+            virtual_cluster: None,
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let jobs: Vec<Job> = (0..50)
+            .map(|i| {
+                job(
+                    i,
+                    i64::from(i as u32) * 5,
+                    40 + (i % 5) as i64 * 30,
+                    1 + (i % 20),
+                    150,
+                )
+            })
+            .collect();
+        let trace = Trace::new(tiny(), jobs.clone()).unwrap();
+        let config = SimConfig::default();
+        let batch = simulate(&trace, &config);
+
+        // Submit in bursts, advancing between them.
+        let mut s = SimSession::new(&tiny(), config);
+        for chunk in jobs.chunks(10) {
+            for j in chunk {
+                s.submit(j.clone()).unwrap();
+            }
+            let t = chunk.last().unwrap().submit;
+            s.advance_to(t);
+        }
+        let online = s.into_result();
+        assert_eq!(online.metrics, batch.metrics);
+        assert_eq!(online.timeline, batch.timeline);
+        assert_eq!(online.max_queue_len, batch.max_queue_len);
+        let wb: Vec<_> = batch.jobs.iter().map(|j| (j.id, j.wait)).collect();
+        let wo: Vec<_> = online.jobs.iter().map(|j| (j.id, j.wait)).collect();
+        assert_eq!(wb, wo);
+    }
+
+    #[test]
+    fn events_report_lifecycle() {
+        let mut s = SimSession::new(&tiny(), SimConfig::default());
+        s.submit(job(1, 0, 10, 50, 10)).unwrap();
+        s.submit(job(2, 0, 20, 60, 20)).unwrap();
+        s.advance_to(0);
+        let events = s.drain_events();
+        // Job 1 starts immediately; job 2 (60 units) waits behind it.
+        assert!(events.contains(&SimEvent::Started {
+            id: 1,
+            time: 0,
+            wait: 0
+        }));
+        assert_eq!(s.query(1), Some(JobState::Running));
+        assert_eq!(s.query(2), Some(JobState::Waiting));
+        s.advance_to(100);
+        let events = s.drain_events();
+        assert!(events.contains(&SimEvent::Finished { id: 1, time: 10 }));
+        assert!(events.contains(&SimEvent::Started {
+            id: 2,
+            time: 10,
+            wait: 10
+        }));
+        assert!(events.contains(&SimEvent::Finished { id: 2, time: 30 }));
+        assert_eq!(s.query(2), Some(JobState::Finished));
+        assert_eq!(s.drain_events(), vec![], "drain clears the log");
+    }
+
+    #[test]
+    fn snapshot_counts_are_consistent() {
+        let mut s = SimSession::new(&tiny(), SimConfig::default());
+        s.submit(job(1, 0, 100, 70, 100)).unwrap();
+        s.submit(job(2, 0, 100, 70, 100)).unwrap();
+        s.submit(job(3, 50, 100, 10, 100)).unwrap();
+        s.advance_to(10);
+        let snap = s.snapshot();
+        assert_eq!(snap.now, 10);
+        assert_eq!(snap.submitted, 3);
+        assert_eq!(snap.pending, 1, "job 3 arrives at t=50");
+        assert_eq!(snap.running, 1);
+        assert_eq!(snap.waiting, 1);
+        assert_eq!(snap.used_units, 70);
+        assert!((snap.utilization - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn submit_in_the_past_is_rejected() {
+        let mut s = SimSession::new(&tiny(), SimConfig::default());
+        s.submit(job(1, 0, 10, 1, 10)).unwrap();
+        s.advance_to(100);
+        let err = s.submit(job(2, 50, 10, 1, 10)).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidTime { job: 2, .. }));
+        // At exactly `now` is fine.
+        s.submit(job(3, 100, 10, 1, 10)).unwrap();
+    }
+
+    #[test]
+    fn oversized_and_zero_requests_are_rejected() {
+        let mut s = SimSession::new(&tiny(), SimConfig::default());
+        assert!(matches!(
+            s.submit(job(1, 0, 10, 0, 10)).unwrap_err(),
+            CoreError::OversizedJob { .. }
+        ));
+        assert!(matches!(
+            s.submit(job(1, 0, 10, 101, 10)).unwrap_err(),
+            CoreError::OversizedJob { .. }
+        ));
+    }
+
+    #[test]
+    fn cancel_waiting_job_frees_the_queue() {
+        let mut s = SimSession::new(&tiny(), SimConfig::default());
+        s.submit(job(1, 0, 100, 100, 100)).unwrap();
+        s.submit(job(2, 1, 100, 100, 100)).unwrap();
+        s.submit(job(3, 2, 100, 100, 100)).unwrap();
+        s.advance_to(5);
+        assert_eq!(s.query(2), Some(JobState::Waiting));
+        assert!(s.cancel(2), "waiting job cancels");
+        assert!(!s.cancel(2), "second cancel is a no-op");
+        assert!(!s.cancel(1), "running job cannot cancel");
+        assert!(!s.cancel(99), "unknown id");
+        let r = s.into_result();
+        // Job 3 moves up: starts when job 1 ends at t=100.
+        let j3 = r.jobs.iter().find(|j| j.id == 3).unwrap();
+        assert_eq!(j3.wait, Some(98));
+        assert_eq!(r.metrics.jobs, 2, "cancelled job excluded from metrics");
+    }
+
+    #[test]
+    fn cancel_pending_job_never_arrives() {
+        let mut s = SimSession::new(&tiny(), SimConfig::default());
+        s.submit(job(1, 0, 10, 1, 10)).unwrap();
+        s.submit(job(2, 1_000, 10, 1, 10)).unwrap();
+        s.advance_to(0);
+        assert!(s.cancel(2));
+        assert_eq!(s.query(2), Some(JobState::Cancelled));
+        assert_eq!(s.next_event_time(), Some(10), "only job 1's completion");
+    }
+
+    #[test]
+    fn cancelling_queue_head_triggers_reschedule() {
+        // Job 1 occupies 90; job 2 (head, 100 units) blocks job 3 (10 units,
+        // too long to backfill). Cancelling job 2 must start job 3 at once.
+        let mut s = SimSession::new(&tiny(), SimConfig::default());
+        s.submit(job(1, 0, 100, 90, 100)).unwrap();
+        s.submit(job(2, 1, 100, 100, 100)).unwrap();
+        s.submit(job(3, 2, 200, 10, 200)).unwrap();
+        s.advance_to(10);
+        assert_eq!(s.query(3), Some(JobState::Waiting));
+        assert!(s.cancel(2));
+        assert_eq!(s.query(3), Some(JobState::Running));
+        assert_eq!(s.job(3).unwrap().wait, Some(8));
+    }
+
+    #[test]
+    fn advance_is_monotone() {
+        let mut s = SimSession::new(&tiny(), SimConfig::default());
+        s.submit(job(1, 0, 10, 1, 10)).unwrap();
+        s.advance_to(100);
+        assert_eq!(s.now(), 100);
+        s.advance_to(50); // no-op
+        assert_eq!(s.now(), 100);
+    }
+}

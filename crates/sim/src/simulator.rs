@@ -1,21 +1,18 @@
-//! The discrete-event scheduling engine.
+//! Batch trace replay.
 //!
-//! Replays a trace: arrivals and completions are the only events; at each
-//! event the affected partition re-runs its scheduling pass (policy-ordered
-//! head start + backfilling). Deterministic: ties are broken by
-//! `(priority, submit, id)` everywhere.
+//! [`simulate`] replays a whole trace through the incremental engine
+//! ([`SimSession`]): every job is submitted up front and the session runs
+//! to completion. Because both paths share one event loop, a batch replay
+//! and an online session fed the same arrivals produce identical
+//! schedules; see `crate::session` for the determinism contract.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-use lumos_core::{Duration, Job, Timestamp, Trace};
+use lumos_core::{Duration, Job, Trace};
 use serde::{Deserialize, Serialize};
 
 use crate::backfill::{Backfill, Relax};
-use crate::cluster::{Cluster, RunningJob};
 use crate::metrics::{SimMetrics, UtilizationTimeline};
 use crate::policy::Policy;
-use crate::profile::CapacityProfile;
+use crate::session::SimSession;
 
 /// Simulation configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -66,7 +63,7 @@ pub struct SimResult {
 /// Panics on an empty trace (which `Trace::new` already prevents).
 #[must_use]
 pub fn simulate(trace: &Trace, config: &SimConfig) -> SimResult {
-    Engine::new(trace, config, None).run()
+    replay(trace, config, None)
 }
 
 /// Replays `trace` with scheduler-side walltime estimates overriding the
@@ -90,330 +87,20 @@ pub fn simulate_with_walltimes(
         trace.len(),
         "one walltime estimate per job"
     );
-    Engine::new(trace, config, Some(walltimes)).run()
+    replay(trace, config, Some(walltimes))
 }
 
-struct Engine<'a> {
-    config: &'a SimConfig,
-    jobs: Vec<Job>,
-    /// Per-job effective request, clamped to its partition's capacity so
-    /// every job is schedulable.
-    procs_eff: Vec<u64>,
-    /// Per-job walltime the scheduler plans with.
-    plan_wall: Vec<Duration>,
-    /// Per-job partition.
-    part_of: Vec<usize>,
-    /// Per-job cached policy key.
-    key_of: Vec<f64>,
-    /// Per-job promised (reserved) start time, if one was ever issued.
-    promised: Vec<Option<Timestamp>>,
-    cluster: Cluster,
-    finish_heap: BinaryHeap<Reverse<(Timestamp, usize)>>,
-    violations: Vec<(Timestamp, Timestamp)>,
-    timeline: Vec<(Timestamp, u64)>,
-    /// Per-partition running-maximum queue length (the adaptive signal).
-    max_queue: Vec<usize>,
-    /// Global maximum total queue length.
-    max_queue_total: usize,
-}
-
-impl<'a> Engine<'a> {
-    fn new(trace: &Trace, config: &'a SimConfig, walltimes: Option<&[Duration]>) -> Self {
-        let jobs: Vec<Job> = trace
-            .jobs()
-            .iter()
-            .cloned().map(|mut j| {
-                j.wait = None;
-                j
-            })
-            .collect();
-        let cluster = Cluster::new(&trace.system, config.respect_virtual_clusters);
-        let n = jobs.len();
-        let mut procs_eff = Vec::with_capacity(n);
-        let mut part_of = Vec::with_capacity(n);
-        let mut key_of = Vec::with_capacity(n);
-        let mut plan_wall = Vec::with_capacity(n);
-        for (i, j) in jobs.iter().enumerate() {
-            let part = cluster.route(j.virtual_cluster, j.procs);
-            let cap = cluster.partition(part).capacity;
-            part_of.push(part);
-            procs_eff.push(j.procs.min(cap));
-            let wall = match walltimes {
-                Some(w) => w[i].max(1),
-                None => j.planning_walltime().max(1),
-            };
-            key_of.push(config.policy.key_with(j, wall));
-            plan_wall.push(wall);
-        }
-        let parts = cluster.partition_count();
-        Self {
-            config,
-            jobs,
-            procs_eff,
-            plan_wall,
-            part_of,
-            key_of,
-            promised: vec![None; n],
-            cluster,
-            finish_heap: BinaryHeap::new(),
-            violations: Vec::new(),
-            timeline: Vec::new(),
-            max_queue: vec![0; parts],
-            max_queue_total: 0,
-        }
+fn replay(trace: &Trace, config: &SimConfig, walltimes: Option<&[Duration]>) -> SimResult {
+    let mut session = SimSession::new(&trace.system, *config);
+    // Batch replays never drain the event log; don't accumulate one.
+    session.record_events = false;
+    for (i, job) in trace.jobs().iter().enumerate() {
+        let wall = walltimes.map(|w| w[i]);
+        session
+            .submit_with_walltime(job.clone(), wall)
+            .expect("trace jobs were validated by Trace::new");
     }
-
-    fn run(mut self) -> SimResult {
-        let n = self.jobs.len();
-        let mut next_arrival = 0usize;
-        let mut dirty: Vec<usize> = Vec::new();
-
-        while next_arrival < n || !self.finish_heap.is_empty() {
-            let t_arr = (next_arrival < n).then(|| self.jobs[next_arrival].submit);
-            let t_fin = self.finish_heap.peek().map(|Reverse((t, _))| *t);
-            let now = match (t_arr, t_fin) {
-                (Some(a), Some(f)) => a.min(f),
-                (Some(a), None) => a,
-                (None, Some(f)) => f,
-                (None, None) => unreachable!("loop condition"),
-            };
-
-            dirty.clear();
-            // 1. Completions at `now`.
-            while let Some(&Reverse((t, idx))) = self.finish_heap.peek() {
-                if t > now {
-                    break;
-                }
-                self.finish_heap.pop();
-                let part = self.part_of[idx];
-                self.cluster.partition_mut(part).finish(idx);
-                if !dirty.contains(&part) {
-                    dirty.push(part);
-                }
-            }
-            // 2. Arrivals at `now`.
-            while next_arrival < n && self.jobs[next_arrival].submit <= now {
-                let idx = next_arrival;
-                next_arrival += 1;
-                let part = self.part_of[idx];
-                self.enqueue(part, idx);
-                if !dirty.contains(&part) {
-                    dirty.push(part);
-                }
-            }
-            // 3. Scheduling passes.
-            dirty.sort_unstable();
-            for &part in &dirty {
-                self.schedule(part, now);
-            }
-            self.max_queue_total = self.max_queue_total.max(self.cluster.queue_len());
-            if self.config.record_timeline {
-                let used = self.cluster.used();
-                if self.timeline.last().map(|&(_, u)| u) != Some(used) {
-                    self.timeline.push((now, used));
-                } else if let Some(last) = self.timeline.last_mut() {
-                    last.0 = last.0.max(now);
-                }
-            }
-        }
-
-        debug_assert!(self.jobs.iter().all(|j| j.wait.is_some()));
-        let capacity = self.cluster.total_capacity();
-        let metrics = SimMetrics::compute(
-            &self.jobs,
-            capacity,
-            self.config.bsld_bound,
-            &self.violations,
-        );
-        SimResult {
-            metrics,
-            timeline: UtilizationTimeline {
-                capacity,
-                points: std::mem::take(&mut self.timeline),
-            },
-            max_queue_len: self.max_queue_total,
-            jobs: self.jobs,
-        }
-    }
-
-    /// Inserts `idx` into its partition's priority-sorted waiting list.
-    fn enqueue(&mut self, part: usize, idx: usize) {
-        let key = (self.key_of[idx], self.jobs[idx].submit, self.jobs[idx].id);
-        let waiting = &mut self.cluster.partition_mut(part).waiting;
-        let pos = waiting.partition_point(|&other| {
-            (self.key_of[other], self.jobs[other].submit, self.jobs[other].id) <= key
-        });
-        waiting.insert(pos, idx);
-    }
-
-    /// Starts job `idx` at `now` on `part` (must fit).
-    fn start(&mut self, part: usize, idx: usize, now: Timestamp) {
-        let job = &mut self.jobs[idx];
-        debug_assert!(job.wait.is_none(), "job started twice");
-        job.wait = Some(now - job.submit);
-        let running = RunningJob {
-            idx,
-            procs: self.procs_eff[idx],
-            end_estimate: now + self.plan_wall[idx],
-            finish: now + job.runtime,
-        };
-        self.cluster.partition_mut(part).start(running);
-        self.finish_heap.push(Reverse((running.finish, idx)));
-        if let Some(promise) = self.promised[idx] {
-            self.violations.push((promise, now));
-        }
-    }
-
-    /// One scheduling pass on a partition.
-    fn schedule(&mut self, part: usize, now: Timestamp) {
-        // Start from the head while it fits.
-        loop {
-            let p = self.cluster.partition(part);
-            match p.waiting.first() {
-                Some(&head) if self.procs_eff[head] <= p.free => {
-                    self.cluster.partition_mut(part).waiting.remove(0);
-                    self.start(part, head, now);
-                }
-                _ => break,
-            }
-        }
-        let qlen = self.cluster.partition(part).waiting.len();
-        if qlen == 0 {
-            return;
-        }
-        self.max_queue[part] = self.max_queue[part].max(qlen);
-        // Nothing can start while zero units are free — neither the head
-        // nor any backfill candidate — so skip the (O(queue + running))
-        // backfill pass entirely. On saturated systems this short-circuits
-        // the majority of arrival events.
-        if self.cluster.partition(part).free == 0 {
-            return;
-        }
-        match self.config.backfill {
-            Backfill::None => {}
-            Backfill::Easy => self.schedule_easy(part, now),
-            Backfill::Conservative => self.schedule_conservative(part, now),
-        }
-    }
-
-    /// EASY backfilling with (possibly relaxed) head reservation.
-    fn schedule_easy(&mut self, part: usize, now: Timestamp) {
-        loop {
-            let (head, shadow, extra) = {
-                let p = self.cluster.partition(part);
-                let head = p.waiting[0];
-                // The running set is end-sorted; clamping past estimates to
-                // now+1 only flattens the prefix, preserving the order.
-                let profile = CapacityProfile::from_sorted_running(
-                    now,
-                    p.capacity,
-                    p.running().iter().map(|r| (r.end_estimate.max(now + 1), r.procs)),
-                );
-                let shadow = profile
-                    .earliest_forever(now, self.procs_eff[head])
-                    .expect("procs_eff ≤ partition capacity");
-                let extra = profile.free_at(shadow).saturating_sub(self.procs_eff[head]);
-                (head, shadow, extra)
-            };
-            if self.promised[head].is_none() {
-                self.promised[head] = Some(shadow);
-            }
-            let qlen = self.cluster.partition(part).waiting.len();
-            let allowance = self.config.relax.allowance(
-                shadow - self.jobs[head].submit,
-                qlen,
-                self.max_queue[part],
-            );
-
-            // Scan backfill candidates in priority order.
-            let mut extra_remaining = extra;
-            let mut started_any = false;
-            let mut i = 1usize;
-            loop {
-                let p = self.cluster.partition(part);
-                if i >= p.waiting.len() {
-                    break;
-                }
-                let cand = p.waiting[i];
-                let procs = self.procs_eff[cand];
-                if procs <= p.free {
-                    let end = now + self.plan_wall[cand];
-                    let harmless = end <= shadow;
-                    let in_extra = procs <= extra_remaining;
-                    let in_allowance = end <= shadow + allowance;
-                    if harmless || in_extra || in_allowance {
-                        if !harmless && in_extra {
-                            extra_remaining -= procs;
-                        }
-                        self.cluster.partition_mut(part).waiting.remove(i);
-                        self.start(part, cand, now);
-                        started_any = true;
-                        continue; // same i now points at the next candidate
-                    }
-                }
-                i += 1;
-            }
-            if !started_any {
-                break;
-            }
-            // Free capacity changed; head might have become startable via
-            // cascaded completions elsewhere — re-run the head loop.
-            loop {
-                let p = self.cluster.partition(part);
-                match p.waiting.first() {
-                    Some(&h) if self.procs_eff[h] <= p.free => {
-                        self.cluster.partition_mut(part).waiting.remove(0);
-                        self.start(part, h, now);
-                    }
-                    _ => break,
-                }
-            }
-            if self.cluster.partition(part).waiting.is_empty() {
-                break;
-            }
-        }
-    }
-
-    /// Conservative backfilling: every queued job gets a planned slot in a
-    /// shared capacity profile; whoever's slot is "now" starts.
-    fn schedule_conservative(&mut self, part: usize, now: Timestamp) {
-        let (mut profile, waiting) = {
-            let p = self.cluster.partition(part);
-            (
-                CapacityProfile::from_sorted_running(
-                    now,
-                    p.capacity,
-                    p.running().iter().map(|r| (r.end_estimate.max(now + 1), r.procs)),
-                ),
-                p.waiting.clone(),
-            )
-        };
-        let mut to_start = Vec::new();
-        for &idx in &waiting {
-            let procs = self.procs_eff[idx];
-            let wall = self.plan_wall[idx];
-            let s = profile
-                .earliest_fit(now, procs, wall)
-                .expect("procs_eff ≤ partition capacity");
-            profile.reserve(s, s + wall, procs);
-            if self.promised[idx].is_none() {
-                self.promised[idx] = Some(s);
-            }
-            if s == now {
-                to_start.push(idx);
-            }
-        }
-        for idx in to_start {
-            let p = self.cluster.partition_mut(part);
-            let pos = p
-                .waiting
-                .iter()
-                .position(|&w| w == idx)
-                .expect("job is waiting");
-            p.waiting.remove(pos);
-            self.start(part, idx, now);
-        }
-    }
+    session.into_result()
 }
 
 #[cfg(test)]
@@ -705,7 +392,15 @@ mod tests {
     #[test]
     fn every_job_gets_scheduled_under_all_configs() {
         let jobs: Vec<Job> = (0..200)
-            .map(|i| job(i, i64::from(i as u32) * 3, 50 + (i % 7) as i64 * 20, 1 + (i % 30), 200))
+            .map(|i| {
+                job(
+                    i,
+                    i64::from(i as u32) * 3,
+                    50 + (i % 7) as i64 * 20,
+                    1 + (i % 30),
+                    200,
+                )
+            })
             .collect();
         for backfill in [Backfill::None, Backfill::Easy, Backfill::Conservative] {
             for policy in Policy::ALL {

@@ -3,8 +3,9 @@
 
 use lumos_core::{Job, SystemSpec, Trace};
 use lumos_sim::profile::CapacityProfile;
-use lumos_sim::{simulate, Backfill, Policy, Relax, SimConfig};
+use lumos_sim::{simulate, Backfill, Policy, Relax, SimConfig, SimSession};
 use proptest::prelude::*;
+use proptest::test_runner::TestRng;
 
 fn tiny_system(capacity: u64) -> SystemSpec {
     let mut s = SystemSpec::theta();
@@ -16,20 +17,18 @@ fn tiny_system(capacity: u64) -> SystemSpec {
 }
 
 fn arb_jobs(capacity: u64) -> impl Strategy<Value = Vec<Job>> {
-    prop::collection::vec(
-        (0i64..5_000, 1i64..2_000, 1..=capacity, 1i64..4_000),
-        1..60,
+    prop::collection::vec((0i64..5_000, 1i64..2_000, 1..=capacity, 1i64..4_000), 1..60).prop_map(
+        |raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (submit, runtime, procs, wall))| {
+                    let mut j = Job::basic(i as u64, (i % 5) as u32, submit, runtime, procs);
+                    j.walltime = Some(runtime + wall);
+                    j
+                })
+                .collect()
+        },
     )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (submit, runtime, procs, wall))| {
-                let mut j = Job::basic(i as u64, (i % 5) as u32, submit, runtime, procs);
-                j.walltime = Some(runtime + wall);
-                j
-            })
-            .collect()
-    })
 }
 
 fn arb_config() -> impl Strategy<Value = SimConfig> {
@@ -90,8 +89,53 @@ fn check_schedule(trace: &Trace, config: &SimConfig) -> Result<(), TestCaseError
     Ok(())
 }
 
+/// Replays the trace through a [`SimSession`] with a seed-derived
+/// interleaving of `submit` / `advance_to` / read-only calls and checks
+/// the outcome is identical to one batch [`simulate`] run.
+fn check_incremental_matches_batch(
+    trace: &Trace,
+    config: &SimConfig,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let batch = simulate(trace, config);
+    let mut rng = TestRng::new(seed);
+    let mut session = SimSession::new(&trace.system, *config);
+    for job in trace.jobs() {
+        // Sometimes advance part of the way (any target ≤ the next submit
+        // keeps the submission valid; past targets are no-ops).
+        if rng.next_u64() % 3 == 0 {
+            let target = rng.next_u64() as i64 % (job.submit + 1);
+            session.advance_to(target.max(0));
+        }
+        // Read-only observers must never perturb the schedule.
+        if rng.next_u64() % 4 == 0 {
+            let _ = session.snapshot();
+            let _ = session.drain_events();
+        }
+        session
+            .submit(job.clone())
+            .map_err(|e| TestCaseError::fail(format!("submit: {e}")))?;
+    }
+    let online = session.into_result();
+    prop_assert_eq!(&online.jobs, &batch.jobs);
+    prop_assert_eq!(&online.metrics, &batch.metrics);
+    prop_assert_eq!(&online.timeline, &batch.timeline);
+    prop_assert_eq!(online.max_queue_len, batch.max_queue_len);
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_session_matches_batch_replay(
+        jobs in arb_jobs(50),
+        config in arb_config(),
+        seed in any::<u64>(),
+    ) {
+        let trace = Trace::new(tiny_system(50), jobs).unwrap();
+        check_incremental_matches_batch(&trace, &config, seed)?;
+    }
 
     #[test]
     fn schedules_are_feasible(jobs in arb_jobs(50), config in arb_config()) {

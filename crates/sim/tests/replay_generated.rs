@@ -24,7 +24,11 @@ fn all_systems_replay_to_completion() {
         let r = replay(id, 11, 1);
         assert!(r.jobs.iter().all(|j| j.wait.is_some()), "{id:?}");
         assert!(r.metrics.util > 0.0, "{id:?} util {}", r.metrics.util);
-        assert!(r.metrics.util <= 1.0 + 1e-9, "{id:?} util {}", r.metrics.util);
+        assert!(
+            r.metrics.util <= 1.0 + 1e-9,
+            "{id:?} util {}",
+            r.metrics.util
+        );
     }
 }
 
@@ -41,11 +45,7 @@ fn helios_waits_are_short_and_blue_waters_waits_are_long() {
     let helios = replay(SystemId::Helios, 5, 2);
     let bw = replay(SystemId::BlueWaters, 5, 2);
     // Paper Fig. 4: ~80 % of Helios jobs wait < 10 s; BW median wait ≳ 1 h.
-    let helios_short = helios
-        .jobs
-        .iter()
-        .filter(|j| j.wait.unwrap() <= 10)
-        .count() as f64
+    let helios_short = helios.jobs.iter().filter(|j| j.wait.unwrap() <= 10).count() as f64
         / helios.jobs.len() as f64;
     assert!(helios_short > 0.6, "Helios short-wait share {helios_short}");
     assert!(

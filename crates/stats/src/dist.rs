@@ -33,7 +33,10 @@ impl Uniform {
     /// Panics on invalid bounds.
     #[must_use]
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad uniform bounds");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad uniform bounds"
+        );
         Self { lo, hi }
     }
 }
@@ -101,7 +104,10 @@ impl LogNormal {
     /// Panics on non-finite parameters or negative `sigma`.
     #[must_use]
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "bad lognormal params");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "bad lognormal params"
+        );
         Self { mu, sigma }
     }
 
@@ -391,7 +397,10 @@ mod tests {
     #[test]
     fn mixture_blends_components() {
         let m = Mixture::new(vec![
-            (0.5, Box::new(Uniform::new(0.0, 1.0)) as Box<dyn Sampler + Send + Sync>),
+            (
+                0.5,
+                Box::new(Uniform::new(0.0, 1.0)) as Box<dyn Sampler + Send + Sync>,
+            ),
             (0.5, Box::new(Uniform::new(10.0, 11.0))),
         ]);
         let xs = sample_n(&m, 7, 50_000);

@@ -29,6 +29,7 @@ impl Ecdf {
     ///
     /// # Panics
     /// Panics if the iterator yields no non-NaN values.
+    #[allow(clippy::should_implement_trait)] // keeps callers trait-import-free
     pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
         Self::new(iter.into_iter().collect())
     }

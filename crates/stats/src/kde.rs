@@ -39,7 +39,10 @@ impl Kde {
         } else {
             (s[0].abs() * 1e-3).max(1e-9)
         };
-        Self { sample: s, bandwidth }
+        Self {
+            sample: s,
+            bandwidth,
+        }
     }
 
     /// Builds with an explicit bandwidth.

@@ -12,6 +12,7 @@
 //! * [`histogram`] — linear and logarithmic histograms,
 //! * [`kde`] — Gaussian kernel density estimates (violin plots, Figs. 1a & 11),
 //! * [`summary::Summary`] — Welford streaming moments,
+//! * [`streaming::P2Quantile`] — P² streaming quantiles (O(1) memory),
 //! * [`correlation`] — Pearson and Spearman coefficients.
 //!
 //! All randomness in the workspace flows through [`rng::Rng`] so that a
@@ -27,6 +28,7 @@ pub mod histogram;
 pub mod kde;
 pub mod quantile;
 pub mod rng;
+pub mod streaming;
 pub mod summary;
 
 pub use dist::{Discrete, Exponential, LogNormal, Mixture, Pareto, Sampler, Uniform, Weibull};
@@ -35,4 +37,5 @@ pub use histogram::{Histogram, LogHistogram};
 pub use kde::{Kde, ViolinSummary};
 pub use quantile::{median, quantile, quantiles};
 pub use rng::Rng;
+pub use streaming::{P2Quantile, QuantileBank};
 pub use summary::Summary;

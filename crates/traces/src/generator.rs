@@ -12,9 +12,7 @@
 //!    drawn status (failed jobs die early; some killed jobs hit their
 //!    walltime).
 
-use lumos_core::{
-    Job, JobStatus, LengthClass, SizeClass, SystemKind, Timestamp, Trace,
-};
+use lumos_core::{Job, JobStatus, LengthClass, SizeClass, SystemKind, Timestamp, Trace};
 use lumos_stats::Rng;
 
 use crate::profile::{SystemProfile, WalltimePolicy};
@@ -93,8 +91,7 @@ impl Generator {
             };
             t.procs as f64 * r_eff
         });
-        let gap = expected_demand
-            / (p.target_load * cfg.load_scale * p.spec.total_units as f64);
+        let gap = expected_demand / (p.target_load * cfg.load_scale * p.spec.total_units as f64);
         let base_rate = 1.0 / gap;
         let diurnal = p.normalized_diurnal();
         let lambda_max = base_rate * diurnal.iter().cloned().fold(f64::MIN, f64::max);
@@ -232,9 +229,7 @@ impl Generator {
             JobStatus::Failed => ((intended * template.fail_factor) as i64).max(1),
             JobStatus::Killed => {
                 let at_limit = match p.walltime {
-                    WalltimePolicy::Estimated { kill_at_limit, .. } => {
-                        rng.chance(kill_at_limit)
-                    }
+                    WalltimePolicy::Estimated { kill_at_limit, .. } => rng.chance(kill_at_limit),
                     WalltimePolicy::None => false,
                 };
                 if at_limit {
@@ -300,7 +295,10 @@ mod tests {
         let a = gen(SystemId::Philly, 1, 1);
         let b = gen(SystemId::Philly, 2, 1);
         assert_ne!(a.len(), 0);
-        assert_ne!(a.jobs().first().map(|j| j.runtime), b.jobs().first().map(|j| j.runtime));
+        assert_ne!(
+            a.jobs().first().map(|j| j.runtime),
+            b.jobs().first().map(|j| j.runtime)
+        );
     }
 
     #[test]
@@ -349,10 +347,7 @@ mod tests {
     fn job_count_scales_with_span() {
         let one = gen(SystemId::Helios, 6, 1).len() as f64;
         let three = gen(SystemId::Helios, 6, 3).len() as f64;
-        assert!(
-            (three / one - 3.0).abs() < 0.5,
-            "1d={one} 3d={three}"
-        );
+        assert!((three / one - 3.0).abs() < 0.5, "1d={one} 3d={three}");
     }
 
     #[test]
@@ -369,7 +364,10 @@ mod tests {
         )
         .generate()
         .len() as f64;
-        assert!((double / base - 2.0).abs() < 0.4, "base={base} double={double}");
+        assert!(
+            (double / base - 2.0).abs() < 0.4,
+            "base={base} double={double}"
+        );
     }
 
     #[test]

@@ -87,6 +87,24 @@ fn parse_line(line: &str, lineno: usize, system: &SystemSpec) -> Result<Job> {
             message: format!("expected ≥12 fields, found {}", fields.len()),
         });
     }
+    if fields.len() > 18 {
+        return Err(CoreError::Parse {
+            line: lineno,
+            message: format!("expected ≤18 fields, found {}", fields.len()),
+        });
+    }
+    if fields[0] < 0 {
+        return Err(CoreError::Parse {
+            line: lineno,
+            message: format!("negative job number {}", fields[0]),
+        });
+    }
+    if fields[1] < 0 {
+        return Err(CoreError::Parse {
+            line: lineno,
+            message: format!("negative submit time {}", fields[1]),
+        });
+    }
 
     let alloc = fields[4];
     let requested = fields[7];
@@ -111,7 +129,7 @@ fn parse_line(line: &str, lineno: usize, system: &SystemSpec) -> Result<Job> {
     let partition = fields.get(15).copied().unwrap_or(-1);
 
     Ok(Job {
-        id: fields[0].max(0) as u64,
+        id: fields[0] as u64,
         user: fields[11].max(0) as u32,
         submit: fields[1],
         wait: (fields[2] >= 0).then_some(fields[2]),
@@ -230,6 +248,53 @@ mod tests {
     }
 
     #[test]
+    fn rejects_overlong_lines() {
+        let err = parse(
+            "1 0 0 10 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1 99 99",
+            sys(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_negative_submit_and_id() {
+        let neg_submit = "1 -5 0 10 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1";
+        let err = parse(neg_submit, sys()).unwrap_err();
+        assert!(err.to_string().contains("negative submit time"));
+        let neg_id = "-2 0 0 10 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1";
+        let err = parse(neg_id, sys()).unwrap_err();
+        assert!(err.to_string().contains("negative job number"));
+    }
+
+    #[test]
+    fn errors_carry_the_physical_line_number() {
+        // Comments and blank lines still count toward line numbering.
+        let text = "; Computer: X\n\n1 0 0 10 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1\nbogus line\n";
+        let err = parse(text, sys()).unwrap_err();
+        match err {
+            CoreError::Parse { line, .. } => assert_eq!(line, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handles_crlf_and_stray_whitespace() {
+        let text = "; Computer: X\r\n  1 0 0 10 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1  \r\n";
+        let t = parse(text, sys()).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.jobs()[0].runtime, 10);
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_trace_error() {
+        assert!(matches!(
+            parse("; only comments\n", sys()).unwrap_err(),
+            CoreError::EmptyTrace
+        ));
+    }
+
+    #[test]
     fn roundtrip_preserves_jobs() {
         let profile = crate::systems::profile_for(SystemId::Theta);
         let trace = crate::Generator::new(
@@ -257,7 +322,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_skipped() {
-        let text = "; Computer: X\n\n; UnixStartTime: 0\n1 0 0 10 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1\n";
+        let text =
+            "; Computer: X\n\n; UnixStartTime: 0\n1 0 0 10 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1\n";
         assert_eq!(parse(text, sys()).unwrap().len(), 1);
     }
 }

@@ -365,7 +365,9 @@ mod tests {
         // Mira/BW ≈ 1.5 h ≫ Philly ≈ 12 min ≫ Helios ≈ 90 s.
         let med = |p: &SystemProfile, seed| {
             let mut rng = Rng::new(seed);
-            let mut xs: Vec<f64> = (0..40_001).map(|_| p.sample_base_runtime(&mut rng, 1)).collect();
+            let mut xs: Vec<f64> = (0..40_001)
+                .map(|_| p.sample_base_runtime(&mut rng, 1))
+                .collect();
             xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
             xs[xs.len() / 2]
         };

@@ -60,7 +60,13 @@ pub struct UserModel {
 impl UserModel {
     /// Builds a user with `n` templates drawn from the profile's size and
     /// runtime distributions, popularity-ranked by `template_zipf`.
-    fn build(id: UserId, weight: f64, vc: Option<u16>, profile: &SystemProfile, rng: &mut Rng) -> Self {
+    fn build(
+        id: UserId,
+        weight: f64,
+        vc: Option<u16>,
+        profile: &SystemProfile,
+        rng: &mut Rng,
+    ) -> Self {
         let (lo, hi) = profile.templates_per_user;
         let n = lo + rng.index(hi - lo + 1);
         let mut templates = Vec::with_capacity(n);
@@ -205,7 +211,13 @@ impl UserPool {
             let weight = 1.0 / ((i + 1) as f64).powf(profile.user_zipf);
             let vc = (vcs > 1).then(|| ((i / block) as u16).min(vcs - 1));
             let mut child = rng.fork(i as u64);
-            users.push(UserModel::build(i as UserId, weight, vc, profile, &mut child));
+            users.push(UserModel::build(
+                i as UserId,
+                weight,
+                vc,
+                profile,
+                &mut child,
+            ));
             acc += weight;
             cum_weights.push(acc);
         }

@@ -36,14 +36,20 @@ fn main() {
 
     println!("\n-- geometries (paper Fig. 1) --");
     println!("median runtime      : {:.0} s", analysis.runtime.median);
-    println!("median arrival gap  : {:.1} s", analysis.arrival.median_interval);
+    println!(
+        "median arrival gap  : {:.1} s",
+        analysis.arrival.median_interval
+    );
     println!(
         "single-GPU jobs     : {:.1} %",
         analysis.resources.single_unit_share * 100.0
     );
 
     println!("\n-- scheduling (paper Figs. 3-5) --");
-    println!("utilization         : {:.1} %", analysis.utilization.window_util * 100.0);
+    println!(
+        "utilization         : {:.1} %",
+        analysis.utilization.window_util * 100.0
+    );
     println!("mean wait           : {:.0} s", analysis.waiting.mean_wait);
     println!(
         "jobs waiting <= 10 s: {:.1} %",

@@ -46,8 +46,16 @@ fn main() {
 
     // Aggregate story, as in the paper's summary of Fig. 12.
     let n = rows.len() as f64;
-    let before: f64 = rows.iter().map(|r| r.without.underestimate_rate).sum::<f64>() / n;
-    let after: f64 = rows.iter().map(|r| r.with_elapsed.underestimate_rate).sum::<f64>() / n;
+    let before: f64 = rows
+        .iter()
+        .map(|r| r.without.underestimate_rate)
+        .sum::<f64>()
+        / n;
+    let after: f64 = rows
+        .iter()
+        .map(|r| r.with_elapsed.underestimate_rate)
+        .sum::<f64>()
+        / n;
     println!(
         "\nmean underestimate rate: {before:.3} -> {after:.3} \
          ({:.0}% reduction) once elapsed time is considered",

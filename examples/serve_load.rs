@@ -1,0 +1,157 @@
+//! Load generator for `lumos serve`: replays a synthetic trace against a
+//! running server over NDJSON/TCP and prints the live stats it reports.
+//!
+//! ```text
+//! # terminal 1
+//! cargo run --release -- serve --addr 127.0.0.1:7421 --system theta
+//! # terminal 2
+//! cargo run --release --example serve_load -- --addr 127.0.0.1:7421 --jobs 500
+//! ```
+//!
+//! With no `--addr`, the example spawns its own in-process virtual-time
+//! server on an ephemeral port, so it also works standalone.
+//!
+//! The generator targets *virtual-time* servers (`--time-scale 0`, the
+//! default): it stamps explicit submit times and drives the clock with
+//! `Advance` commands, so every run is deterministic for a given seed.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use lumos_core::SystemSpec;
+use lumos_serve::{ServeConfig, Server};
+use lumos_sim::SimConfig;
+use lumos_stats::Rng;
+
+struct Options {
+    addr: Option<String>,
+    jobs: u64,
+    seed: u64,
+    /// Mean inter-arrival gap in simulation seconds.
+    mean_gap: f64,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: None,
+        jobs: 200,
+        seed: 42,
+        mean_gap: 30.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => opts.addr = Some(value("--addr")?),
+            "--jobs" => {
+                opts.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--mean-gap" => {
+                opts.mean_gap = value("--mean-gap")?
+                    .parse()
+                    .map_err(|e| format!("--mean-gap: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn roundtrip(writer: &mut impl Write, reader: &mut impl BufRead, request: &str) -> String {
+    writeln!(writer, "{request}").expect("write request");
+    writer.flush().expect("flush request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    line.trim().to_string()
+}
+
+fn main() {
+    let opts = match parse_options() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("serve_load: {message}");
+            eprintln!(
+                "usage: serve_load [--addr HOST:PORT] [--jobs N] [--seed S] [--mean-gap SECS]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    // Connect to the given server, or spawn one in-process.
+    let (addr, server_thread) = match &opts.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let config = ServeConfig {
+                system: SystemSpec::theta(),
+                sim: SimConfig::default(),
+                queue_capacity: 1024,
+                time_scale: 0.0,
+            };
+            let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral server");
+            let addr = server.local_addr().expect("local addr").to_string();
+            println!("spawned in-process server on {addr}");
+            (addr, Some(std::thread::spawn(move || server.run(false))))
+        }
+    };
+
+    let stream = TcpStream::connect(&addr).expect("connect to server");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+
+    // Synthetic open-arrival workload: exponential gaps, heavy-tailed
+    // runtimes (lognormal), mostly-small power-of-two-ish widths.
+    let mut rng = Rng::new(opts.seed);
+    let mut clock: i64 = 0;
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+    for id in 0..opts.jobs {
+        let gap = -opts.mean_gap * (1.0 - rng.next_f64_open()).ln();
+        clock += gap.ceil() as i64;
+        let runtime = (60.0 * (0.8 * rng.next_gaussian()).exp() * 10.0).ceil() as i64;
+        let walltime = runtime + 60 + rng.next_below(3_600) as i64;
+        let procs = 1u64 << rng.next_below(7);
+        let user = rng.next_below(16) as u32;
+
+        // Move time forward to the arrival, then submit at it.
+        roundtrip(
+            &mut writer,
+            &mut reader,
+            &format!(r#"{{"Advance":{{"to":{clock}}}}}"#),
+        );
+        let reply = roundtrip(
+            &mut writer,
+            &mut reader,
+            &format!(
+                r#"{{"Submit":{{"job":{{"id":{id},"procs":{procs},"runtime":{runtime},"walltime":{walltime},"user":{user},"submit":{clock}}}}}}}"#
+            ),
+        );
+        if reply.contains("Rejected") {
+            rejected += 1;
+        } else {
+            accepted += 1;
+        }
+
+        if (id + 1) % 100 == 0 {
+            let stats = roundtrip(&mut writer, &mut reader, r#""Stats""#);
+            println!("[{:>6}] after {} submissions: {stats}", clock, id + 1);
+        }
+    }
+
+    println!("submitted {accepted} jobs ({rejected} rejected) over {clock} sim seconds");
+    let stats = roundtrip(&mut writer, &mut reader, r#""Stats""#);
+    println!("final stats: {stats}");
+
+    if let Some(handle) = server_thread {
+        let bye = roundtrip(&mut writer, &mut reader, r#""Shutdown""#);
+        println!("drained: {bye}");
+        handle.join().expect("server thread").expect("server run");
+    } else {
+        println!("leaving the external server running (send \"Shutdown\" to stop it)");
+    }
+}

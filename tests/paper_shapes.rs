@@ -27,14 +27,22 @@ fn fig1a_runtime_ordering_and_diversity() {
     let (mira, bw) = (get(a, "Mira"), get(a, "Blue Waters"));
     let (philly, helios) = (get(a, "Philly"), get(a, "Helios"));
     // Median runtimes: Mira/BW ≈ 1.5 h ≫ Philly ≈ minutes ≫ Helios ≈ 90 s.
-    assert!(mira.runtime.median > 3_000.0, "Mira {}", mira.runtime.median);
+    assert!(
+        mira.runtime.median > 3_000.0,
+        "Mira {}",
+        mira.runtime.median
+    );
     assert!(bw.runtime.median > 2_000.0, "BW {}", bw.runtime.median);
     assert!(
         philly.runtime.median < mira.runtime.median / 3.0,
         "Philly {}",
         philly.runtime.median
     );
-    assert!(helios.runtime.median < 300.0, "Helios {}", helios.runtime.median);
+    assert!(
+        helios.runtime.median < 300.0,
+        "Helios {}",
+        helios.runtime.median
+    );
     // DL runtimes span more orders of magnitude than classic HPC.
     let spread = |s: &SystemAnalysis| (s.runtime.max / s.runtime.min.max(1.0)).log10();
     assert!(spread(helios) > spread(mira));
@@ -81,7 +89,12 @@ fn fig2_dominating_groups_shift() {
     // Classic HPC core-hours concentrate in middle-length jobs; DL
     // core-hours lean long (Takeaway 4's strongest contrast).
     let mira = get(a, "Mira").domination.by_length;
-    assert!(mira[1] > mira[0], "Mira middle {} vs short {}", mira[1], mira[0]);
+    assert!(
+        mira[1] > mira[0],
+        "Mira middle {} vs short {}",
+        mira[1],
+        mira[0]
+    );
     let helios = get(a, "Helios").domination.by_length;
     assert!(helios[2] > 0.4, "Helios long share {}", helios[2]);
 }
@@ -96,7 +109,11 @@ fn fig3_fig4_utilization_and_wait_contrast() {
     let mira = get(a, "Mira");
     assert!(philly.utilization.window_util < mira.utilization.window_util);
     assert!(philly.utilization.window_util < 0.7);
-    assert!(helios.waiting.under_10s_share > 0.6, "Helios {}", helios.waiting.under_10s_share);
+    assert!(
+        helios.waiting.under_10s_share > 0.6,
+        "Helios {}",
+        helios.waiting.under_10s_share
+    );
     assert!(philly.waiting.mean_wait > 10.0 * helios.waiting.mean_wait.max(1.0));
     // Blue Waters queues: mean wait well above Helios.
     let bw = get(a, "Blue Waters");
@@ -122,7 +139,12 @@ fn fig6_fig7_failure_structure() {
     for s in a {
         let f = &s.failures.overall;
         // Pass rates below 70 % everywhere.
-        assert!(f.count_shares[0] < 0.72, "{} pass {}", s.system, f.count_shares[0]);
+        assert!(
+            f.count_shares[0] < 0.72,
+            "{} pass {}",
+            s.system,
+            f.count_shares[0]
+        );
         // Killed jobs consume at least their count share of core-hours;
         // failed jobs consume at most theirs (they die early).
         assert!(
@@ -172,9 +194,10 @@ fn fig9_fig10_queue_adaptation() {
     // On the DL systems, the minimal-request share rises with queue length…
     for name in ["Philly", "Helios"] {
         let s = get(a, name);
-        if let (Some(short), Some(long)) =
-            (s.submission.request_shares[0], s.submission.request_shares[2])
-        {
+        if let (Some(short), Some(long)) = (
+            s.submission.request_shares[0],
+            s.submission.request_shares[2],
+        ) {
             assert!(
                 long[0] >= short[0],
                 "{name}: minimal share under long queue {} < short queue {}",
@@ -185,10 +208,14 @@ fn fig9_fig10_queue_adaptation() {
     }
     // …and mean runtimes shrink under congestion (Fig. 10, DL-only).
     let philly = get(a, "Philly");
-    if let (Some(idle), Some(busy)) =
-        (philly.submission.mean_runtime[0], philly.submission.mean_runtime[2])
-    {
-        assert!(busy <= idle, "Philly runtime under load {busy} vs idle {idle}");
+    if let (Some(idle), Some(busy)) = (
+        philly.submission.mean_runtime[0],
+        philly.submission.mean_runtime[2],
+    ) {
+        assert!(
+            busy <= idle,
+            "Philly runtime under load {busy} vs idle {idle}"
+        );
     }
 }
 

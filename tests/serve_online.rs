@@ -1,0 +1,173 @@
+//! End-to-end test of the online scheduling service: drive a virtual-time
+//! server over TCP and check that its shutdown metrics are *identical* to
+//! a batch `simulate()` replay of the same arrival sequence — the core
+//! guarantee of the shared incremental engine.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use lumos_core::{Job, SystemSpec, Trace};
+use lumos_serve::{ServeConfig, Server};
+use lumos_sim::{simulate, SimConfig};
+use serde_json::Value;
+
+/// A small machine so jobs actually queue.
+fn tiny_system(capacity: u64) -> SystemSpec {
+    let mut s = SystemSpec::theta();
+    s.name = "serve-test".into();
+    s.total_nodes = capacity as u32;
+    s.units_per_node = 1;
+    s.total_units = capacity;
+    s
+}
+
+/// A deterministic arrival sequence that exercises queueing and backfill.
+fn workload() -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for i in 0..40u64 {
+        let submit = (i as i64) * 37 % 900;
+        let runtime = 60 + (i as i64 * 131) % 600;
+        let procs = 1 + (i * 7) % 12;
+        let mut j = Job::basic(i, (i % 4) as u32, submit, runtime, procs);
+        j.walltime = Some(runtime + 120 + (i as i64 * 53) % 400);
+        jobs.push(j);
+    }
+    jobs
+}
+
+/// One NDJSON request/response exchange.
+fn roundtrip(writer: &mut impl Write, reader: &mut impl BufRead, request: &str) -> Value {
+    writeln!(writer, "{request}").expect("write request");
+    writer.flush().expect("flush request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    serde_json::parse_value_complete(&line).expect("response is JSON")
+}
+
+#[test]
+fn online_replay_matches_batch_simulate() {
+    let system = tiny_system(16);
+    let sim = SimConfig::default();
+    let jobs = workload();
+    let trace = Trace::new(system.clone(), jobs.clone()).expect("valid trace");
+    let batch = simulate(&trace, &sim);
+
+    let config = ServeConfig {
+        system,
+        sim,
+        queue_capacity: 64,
+        time_scale: 0.0, // virtual time: deterministic, Advance-driven
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run(false));
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+
+    // Submit in trace order (sorted by submit time) with explicit arrival
+    // times, interleaving Advance calls that never outrun the next arrival.
+    let mut sorted = jobs.clone();
+    sorted.sort_by_key(|j| (j.submit, j.id));
+    for (i, job) in sorted.iter().enumerate() {
+        if i % 3 == 0 && job.submit > 0 {
+            let reply = roundtrip(
+                &mut writer,
+                &mut reader,
+                &format!(r#"{{"Advance":{{"to":{}}}}}"#, job.submit - 1),
+            );
+            assert!(reply.get("Advanced").is_some(), "unexpected {reply:?}");
+        }
+        let walltime = job.walltime.expect("workload sets walltime");
+        let reply = roundtrip(
+            &mut writer,
+            &mut reader,
+            &format!(
+                r#"{{"Submit":{{"job":{{"id":{},"procs":{},"runtime":{},"walltime":{},"user":{},"submit":{}}}}}}}"#,
+                job.id, job.procs, job.runtime, walltime, job.user, job.submit
+            ),
+        );
+        assert!(reply.get("Submitted").is_some(), "unexpected {reply:?}");
+    }
+
+    // Duplicate ids are rejected without disturbing the schedule.
+    let reply = roundtrip(
+        &mut writer,
+        &mut reader,
+        r#"{"Submit":{"job":{"id":0,"procs":1,"runtime":10}}}"#,
+    );
+    assert!(reply.get("Rejected").is_some(), "unexpected {reply:?}");
+
+    // Queries answer for known jobs and error for unknown ones.
+    let reply = roundtrip(&mut writer, &mut reader, r#"{"Query":{"id":0}}"#);
+    assert!(reply.get("Job").is_some(), "unexpected {reply:?}");
+    let reply = roundtrip(&mut writer, &mut reader, r#"{"Query":{"id":99999}}"#);
+    assert!(reply.get("Error").is_some(), "unexpected {reply:?}");
+
+    // Stats is live and well-formed mid-run.
+    let reply = roundtrip(&mut writer, &mut reader, r#""Stats""#);
+    let stats = reply
+        .get("Stats")
+        .and_then(|v| v.get("stats"))
+        .expect("stats payload");
+    assert!(stats.get("snapshot").is_some());
+    assert!(stats.get("wait_quantiles").is_some());
+
+    // Graceful shutdown drains everything and reports whole-run metrics.
+    let reply = roundtrip(&mut writer, &mut reader, r#""Shutdown""#);
+    let online_metrics = reply
+        .get("Bye")
+        .and_then(|v| v.get("metrics"))
+        .expect("bye carries metrics")
+        .clone();
+
+    let batch_metrics =
+        serde_json::parse_value_complete(&serde_json::to_string(&batch.metrics).unwrap())
+            .expect("batch metrics JSON");
+    assert_eq!(
+        online_metrics, batch_metrics,
+        "online path and batch simulate() diverged"
+    );
+
+    handle.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn backpressure_rejects_instead_of_blocking() {
+    // Queue capacity 1 with a server that is slow to start consuming:
+    // we can't deterministically fill the queue from one client (the
+    // scheduler drains fast), but we can verify a huge burst never
+    // deadlocks and every submission gets an explicit answer.
+    let config = ServeConfig {
+        system: tiny_system(4),
+        sim: SimConfig::default(),
+        queue_capacity: 1,
+        time_scale: 0.0,
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run(false));
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+
+    let mut answered = 0;
+    for i in 0..200u64 {
+        let reply = roundtrip(
+            &mut writer,
+            &mut reader,
+            &format!(r#"{{"Submit":{{"job":{{"id":{i},"procs":1,"runtime":5,"submit":0}}}}}}"#),
+        );
+        let accepted = reply.get("Submitted").is_some();
+        let rejected = reply.get("Rejected").is_some();
+        assert!(accepted || rejected, "unexpected {reply:?}");
+        answered += 1;
+    }
+    assert_eq!(answered, 200);
+
+    let reply = roundtrip(&mut writer, &mut reader, r#""Shutdown""#);
+    assert!(reply.get("Bye").is_some(), "unexpected {reply:?}");
+    handle.join().expect("server thread").expect("server run");
+}

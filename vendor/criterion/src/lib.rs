@@ -1,0 +1,143 @@
+//! Offline stand-in for `criterion`.
+//!
+//! crates.io is unreachable in this build environment, so this crate
+//! provides the benchmark-harness subset the workspace's benches use:
+//! [`Criterion`], `benchmark_group` / `bench_function` / `iter`,
+//! [`Throughput`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a simple best-of-N wall-clock
+//! measurement printed to stdout — adequate for relative comparisons,
+//! with none of criterion's statistics.
+
+// Vendored stand-in: exempt from workspace lint policy.
+#![allow(clippy::all, clippy::pedantic)]
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            samples: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, 10, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup {
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the sample count (measurement repetitions).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Annotates throughput for per-element/-byte rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.samples, self.throughput, f);
+        self
+    }
+
+    /// Finishes the group (no-op; prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    best: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `f` and keeps the best observation.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(f());
+        let elapsed = start.elapsed();
+        if elapsed < self.best {
+            self.best = elapsed;
+        }
+    }
+}
+
+fn run_bench(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        best: Duration::MAX,
+    };
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    let best = bencher.best;
+    match throughput {
+        Some(Throughput::Elements(n)) if best > Duration::ZERO => {
+            let rate = n as f64 / best.as_secs_f64();
+            println!("  {name}: best {best:?} ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if best > Duration::ZERO => {
+            let rate = n as f64 / best.as_secs_f64();
+            println!("  {name}: best {best:?} ({rate:.0} B/s)");
+        }
+        _ => println!("  {name}: best {best:?}"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,83 @@
+//! Offline stand-in for `rayon`.
+//!
+//! crates.io is unreachable in this build environment, so this crate
+//! provides the `par_iter()` / `into_par_iter()` entry points the
+//! workspace uses, backed by *sequential* std iterators. Call sites keep
+//! rayon's API shape; swapping the real rayon back in is a one-line
+//! `Cargo.toml` change. Every standard `Iterator` combinator works on the
+//! returned iterators, which is exactly how the workspace uses them
+//! (`map`/`filter`/`collect`/`sum`).
+
+// Vendored stand-in: exempt from workspace lint policy.
+#![allow(clippy::all, clippy::pedantic)]
+/// The rayon prelude: parallel-iterator entry-point traits.
+pub mod prelude {
+    /// `.par_iter()` on slices and anything that derefs to a slice
+    /// (sequential fallback).
+    pub trait IntoParallelRefIterator<T> {
+        /// Returns a (sequential) iterator over references.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> IntoParallelRefIterator<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    /// `.into_par_iter()` on owned collections and ranges (sequential
+    /// fallback).
+    pub trait IntoParallelIterator {
+        /// The iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+        /// Converts into a (sequential) iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `.par_iter_mut()` on slices (sequential fallback).
+    pub trait IntoParallelRefMutIterator<T> {
+        /// Returns a (sequential) iterator over mutable references.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+
+    impl<T> IntoParallelRefMutIterator<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: i32 = v.into_par_iter().sum();
+        assert_eq!(sum, 6);
+        let range_sum: u64 = (0u64..5).into_par_iter().sum();
+        assert_eq!(range_sum, 10);
+    }
+}

@@ -1,0 +1,390 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! crates.io is unreachable in this build environment, so the real
+//! `serde_derive` (and its `syn`/`quote` dependency tree) cannot be used.
+//! This crate re-implements `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` against the vendored `serde` stub's
+//! `Value`-tree model, parsing the input token stream by hand.
+//!
+//! Supported shapes (everything this workspace derives):
+//!
+//! * structs with named fields → JSON objects,
+//! * enums with unit variants → strings (`"Variant"`),
+//! * enums with struct variants → externally tagged objects
+//!   (`{"Variant": {...}}`),
+//! * enums with one-element tuple variants → `{"Variant": value}`.
+//!
+//! Generics, tuple structs, and serde attributes are intentionally
+//! unsupported and produce a `compile_error!` naming the offender.
+
+// Vendored stand-in: exempt from workspace lint policy.
+#![allow(clippy::all, clippy::pedantic)]
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (stub data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (stub data model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_input(input) {
+        Ok(item) => {
+            let code = match (&item.body, mode) {
+                (Body::Struct(fields), Mode::Serialize) => struct_serialize(&item.name, fields),
+                (Body::Struct(fields), Mode::Deserialize) => struct_deserialize(&item.name, fields),
+                (Body::Enum(variants), Mode::Serialize) => enum_serialize(&item.name, variants),
+                (Body::Enum(variants), Mode::Deserialize) => enum_deserialize(&item.name, variants),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    /// Named field names, in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Struct variant with named fields.
+    Named(Vec<String>),
+    /// Tuple variant; we only support arity 1.
+    Tuple,
+}
+
+/// Parses `[attrs] [pub] (struct|enum) Name { ... }`.
+fn parse_input(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive: expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive: expected type name".to_string()),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive does not support generics (on `{name}`)"
+        ));
+    }
+
+    let group = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde stub derive does not support tuple structs (on `{name}`)"
+                ));
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("derive: no body found for `{name}`")),
+        }
+    };
+
+    let body = match keyword.as_str() {
+        "struct" => Body::Struct(parse_named_fields(group.stream())?),
+        "enum" => Body::Enum(parse_variants(group.stream())?),
+        other => return Err(format!("derive: unsupported item kind `{other}`")),
+    };
+    Ok(Item { name, body })
+}
+
+/// Advances past `#[...]` attributes (incl. doc comments) and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the attribute group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1; // optional `(crate)` / `(super)` restriction
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` — commas inside `<...>` generics belong to the
+/// type (parens/brackets/braces are opaque `Group`s already).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("derive: expected field name, found `{other}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("derive: expected `:` after field `{name}`")),
+        }
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Parses `Variant, Variant { a: T }, Variant(T), ...`.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("derive: expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = 1 + g
+                    .stream()
+                    .into_iter()
+                    .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ',' ))
+                    .count();
+                // A trailing comma overcounts, but arity > 1 is unsupported
+                // anyway; single-element tuple variants have no comma.
+                if arity > 1 {
+                    return Err(format!(
+                        "serde stub derive supports only 1-element tuple variants (`{name}`)"
+                    ));
+                }
+                i += 1;
+                VariantKind::Tuple
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---- code generation --------------------------------------------------
+
+fn struct_serialize(name: &str, fields: &[String]) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!("fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{\n\
+                let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::with_capacity({n});\n\
+                {pushes}\
+                ::serde::Value::Object(fields)\n\
+            }}\n\
+        }}",
+        n = fields.len()
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[String]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match obj_value.get({f:?}) {{\n\
+                     Some(v) => ::serde::Deserialize::from_value(v)\n\
+                         .map_err(|e| ::serde::Error::custom(format!(\"{name}.{f}: {{e}}\")))?,\n\
+                     None => ::serde::Deserialize::missing({f:?})?,\n\
+                 }},\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(obj_value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                if obj_value.as_object().is_none() {{\n\
+                    return Err(::serde::Error::expected(\"object ({name})\", obj_value.kind()));\n\
+                }}\n\
+                Ok({name} {{\n\
+                    {inits}\
+                }})\n\
+            }}\n\
+        }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => format!(
+                    "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                ),
+                VariantKind::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let pushes: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "inner.push(({f:?}.to_string(), ::serde::Serialize::to_value({f})));\n"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Object(inner))])\n\
+                         }},\n"
+                    )
+                }
+                VariantKind::Tuple => format!(
+                    "{name}::{vn}(x) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Serialize::to_value(x))]),\n"
+                ),
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{\n\
+                match self {{\n{arms}}}\n\
+            }}\n\
+        }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("{vn:?} => return Ok({name}::{vn}),\n", vn = v.name))
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Named(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: match inner.get({f:?}) {{\n\
+                                     Some(v) => ::serde::Deserialize::from_value(v)\n\
+                                         .map_err(|e| ::serde::Error::custom(format!(\"{name}::{vn}.{f}: {{e}}\")))?,\n\
+                                     None => ::serde::Deserialize::missing({f:?})?,\n\
+                                 }},\n"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "{vn:?} => {{\n\
+                             let inner = tag_value;\n\
+                             return Ok({name}::{vn} {{ {inits} }});\n\
+                         }},\n"
+                    ))
+                }
+                VariantKind::Tuple => Some(format!(
+                    "{vn:?} => return Ok({name}::{vn}(::serde::Deserialize::from_value(tag_value)?)),\n"
+                )),
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                match v {{\n\
+                    ::serde::Value::Str(s) => {{\n\
+                        match s.as_str() {{\n\
+                            {unit_arms}\
+                            other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                        }}\n\
+                    }}\n\
+                    ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                        let (tag, tag_value) = &fields[0];\n\
+                        let _ = tag_value;\n\
+                        match tag.as_str() {{\n\
+                            {tagged_arms}\
+                            other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                        }}\n\
+                    }}\n\
+                    _ => Err(::serde::Error::expected(\"string or single-key object ({name})\", v.kind())),\n\
+                }}\n\
+            }}\n\
+        }}"
+    )
+}
