@@ -6,6 +6,8 @@
 //! lumos <command> [--seed N] [--days N] [--out DIR] [--swf FILE --system NAME]
 //! lumos serve [--addr HOST:PORT] [--system NAME] [--policy P] [--backfill B]
 //!             [--queue-cap N] [--time-scale X]
+//!             [--journal DIR] [--fsync always|never|interval:MS] [--snapshot-every N]
+//! lumos journal inspect DIR [--verbose]
 //!
 //! Commands:
 //!   table1      dataset overview (Table I)
@@ -22,6 +24,7 @@
 //!   takeaways   evaluate the paper's eight takeaways
 //!   all         everything above + JSON report
 //!   serve       online scheduling service (NDJSON over TCP + stdin)
+//!   journal     audit a serve journal directory (inspect)
 //! ```
 //!
 //! Exit codes: 0 success, 1 runtime failure, 2 usage error.
@@ -92,7 +95,9 @@ fn usage() -> String {
     "usage: lumos <table1|fig1|fig2|fig3|fig4|fig6|fig8|fig9|fig11|fig12|table2|takeaways|all> \
      [--seed N] [--days N] [--out DIR] [--swf FILE --system NAME]\n\
      \x20      lumos serve [--addr HOST:PORT] [--system NAME] [--policy P] [--backfill B] \
-     [--queue-cap N] [--time-scale X]\n\
+     [--queue-cap N] [--time-scale X] \
+     [--journal DIR] [--fsync always|never|interval:MS] [--snapshot-every N]\n\
+     \x20      lumos journal inspect DIR [--verbose]\n\
      \x20      lumos --help | --version"
         .to_string()
 }
@@ -115,6 +120,9 @@ fn system_spec(name: &str) -> Result<lumos_core::SystemSpec, String> {
 fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
     let mut addr = "127.0.0.1:7421".to_string();
     let mut config = lumos_serve::ServeConfig::new(lumos_core::SystemSpec::theta());
+    let mut journal_dir: Option<PathBuf> = None;
+    let mut fsync: Option<lumos_serve::FsyncPolicy> = None;
+    let mut snapshot_every: Option<u64> = None;
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
             args.next()
@@ -166,6 +174,20 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
                     ));
                 }
             }
+            "--journal" => journal_dir = Some(PathBuf::from(value("--journal")?)),
+            "--fsync" => {
+                fsync = Some(
+                    lumos_serve::FsyncPolicy::parse(&value("--fsync")?)
+                        .map_err(|e| CliError::Usage(format!("--fsync: {e}")))?,
+                );
+            }
+            "--snapshot-every" => {
+                snapshot_every = Some(
+                    value("--snapshot-every")?
+                        .parse()
+                        .map_err(|e| CliError::Usage(format!("--snapshot-every: {e}")))?,
+                );
+            }
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown flag {other}\n{}",
@@ -173,6 +195,24 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
                 )))
             }
         }
+    }
+    match journal_dir {
+        Some(dir) => {
+            let mut jc = lumos_serve::JournalConfig::new(dir);
+            if let Some(policy) = fsync {
+                jc.fsync = policy;
+            }
+            if let Some(every) = snapshot_every {
+                jc.snapshot_every = every;
+            }
+            config.journal = Some(jc);
+        }
+        None if fsync.is_some() || snapshot_every.is_some() => {
+            return Err(CliError::Usage(
+                "--fsync and --snapshot-every require --journal DIR".into(),
+            ));
+        }
+        None => {}
     }
     let server = lumos_serve::Server::bind(&addr, config)
         .map_err(|e| CliError::Runtime(format!("binding {addr}: {e}")))?;
@@ -183,6 +223,131 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
     server
         .run(true)
         .map_err(|e| CliError::Runtime(e.to_string()))
+}
+
+/// Runs `lumos journal inspect DIR [--verbose]`: audits a serve journal
+/// directory — per-segment record counts, snapshot validity, torn tails.
+/// Damage is a warning on stderr, not a failure: exit 0 unless the
+/// directory itself is unreadable.
+fn run_journal(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
+    use lumos_serve::journal;
+
+    let sub = args
+        .next()
+        .ok_or_else(|| CliError::Usage(format!("journal expects a subcommand\n{}", usage())))?;
+    if sub != "inspect" {
+        return Err(CliError::Usage(format!(
+            "unknown journal subcommand {sub} (expected inspect)"
+        )));
+    }
+    let mut dir: Option<PathBuf> = None;
+    let mut verbose = false;
+    for arg in args {
+        match arg.as_str() {
+            "--verbose" | "-v" => verbose = true,
+            other if dir.is_none() && !other.starts_with('-') => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unexpected argument {other}\n{}",
+                    usage()
+                )))
+            }
+        }
+    }
+    let dir = dir.ok_or_else(|| {
+        CliError::Usage(format!("journal inspect expects a directory\n{}", usage()))
+    })?;
+
+    let (segments, snapshots) = journal::scan_dir(&dir)
+        .map_err(|e| CliError::Runtime(format!("reading {}: {e}", dir.display())))?;
+    if segments.is_empty() && snapshots.is_empty() {
+        println!("{}: no journal segments or snapshots", dir.display());
+        return Ok(());
+    }
+
+    for &seq in &snapshots {
+        let path = journal::snapshot_path(&dir, seq);
+        match std::fs::read_to_string(&path) {
+            Err(e) => eprintln!("warning: snapshot-{seq:06}.json: unreadable: {e}"),
+            Ok(text) => match serde_json::from_str::<lumos_serve::ServerSnapshot>(&text) {
+                Err(e) => eprintln!("warning: snapshot-{seq:06}.json: corrupt: {e}"),
+                Ok(snap) => {
+                    let clock = snap.state.clock;
+                    let jobs = snap.state.jobs.len();
+                    match lumos_sim::SimSession::restore(&snap.system, snap.state) {
+                        Ok(_) => println!(
+                            "snapshot-{seq:06}.json: valid ({} bytes, t = {clock}, {jobs} jobs)",
+                            text.len()
+                        ),
+                        Err(e) => eprintln!("warning: snapshot-{seq:06}.json: inconsistent: {e}"),
+                    }
+                }
+            },
+        }
+    }
+
+    let mut total = 0usize;
+    let mut torn_segments = 0usize;
+    for &seq in &segments {
+        let path = journal::segment_path(&dir, seq);
+        let seg = journal::read_segment(&path)
+            .map_err(|e| CliError::Runtime(format!("reading {}: {e}", path.display())))?;
+        let mut counts = [0usize; 4]; // config, submit, cancel, advance
+        for record in &seg.records {
+            counts[match record {
+                journal::JournalRecord::Config { .. } => 0,
+                journal::JournalRecord::Submit { .. } => 1,
+                journal::JournalRecord::Cancel { .. } => 2,
+                journal::JournalRecord::Advance { .. } => 3,
+            }] += 1;
+        }
+        println!(
+            "journal-{seq:06}.log: {} records ({} config, {} submit, {} cancel, {} advance)",
+            seg.records.len(),
+            counts[0],
+            counts[1],
+            counts[2],
+            counts[3]
+        );
+        if verbose {
+            for record in &seg.records {
+                match record {
+                    journal::JournalRecord::Config { system, sim } => {
+                        println!("  config  system={} policy={:?}", system.name, sim.policy);
+                    }
+                    journal::JournalRecord::Submit { now, job } => {
+                        println!("  submit  t={now} job={} procs={}", job.id, job.procs);
+                    }
+                    journal::JournalRecord::Cancel { now, id } => {
+                        println!("  cancel  t={now} job={id}");
+                    }
+                    journal::JournalRecord::Advance { to } => println!("  advance to={to}"),
+                }
+            }
+        }
+        if let Some(torn) = &seg.torn {
+            torn_segments += 1;
+            eprintln!(
+                "warning: journal-{seq:06}.log: torn record at byte {}: {}",
+                torn.offset, torn.reason
+            );
+        }
+        total += seg.records.len();
+    }
+    println!(
+        "{}: {} segment(s), {} snapshot(s), {total} intact record(s){}",
+        dir.display(),
+        segments.len(),
+        snapshots.len(),
+        if torn_segments > 0 {
+            format!(", {torn_segments} torn")
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
 }
 
 /// Loads the analysis suite: either the five synthetic systems, or a single
@@ -360,6 +525,10 @@ fn main() -> ExitCode {
         Some("serve") => {
             args.next();
             report(run_serve(args))
+        }
+        Some("journal") => {
+            args.next();
+            report(run_journal(args))
         }
         _ => report(run(args)),
     }

@@ -40,6 +40,10 @@ pub enum CoreError {
         /// Description of the problem.
         message: String,
     },
+    /// A serialized session snapshot is internally inconsistent and cannot
+    /// be restored (e.g. mismatched table lengths or overcommitted
+    /// partitions).
+    InvalidSnapshot(String),
 }
 
 impl fmt::Display for CoreError {
@@ -62,6 +66,7 @@ impl fmt::Display for CoreError {
             Self::EmptyTrace => write!(f, "trace contains no jobs"),
             Self::InvalidSystem(msg) => write!(f, "invalid system spec: {msg}"),
             Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Self::InvalidSnapshot(msg) => write!(f, "invalid session snapshot: {msg}"),
         }
     }
 }
@@ -83,6 +88,14 @@ mod tests {
         assert!(s.contains("job 7"));
         assert!(s.contains("100"));
         assert!(s.contains("10"));
+    }
+
+    #[test]
+    fn invalid_snapshot_display() {
+        let e = CoreError::InvalidSnapshot("states has 3 entries for 4 jobs".into());
+        let s = e.to_string();
+        assert!(s.contains("invalid session snapshot"));
+        assert!(s.contains("3 entries for 4 jobs"));
     }
 
     #[test]

@@ -1,0 +1,499 @@
+//! Write-ahead journaling: the durable command log behind `--journal`.
+//!
+//! Every state-mutating command the scheduler accepts (submit, cancel,
+//! advance — and the implicit drain of a graceful shutdown) is appended to
+//! the active journal segment *before* the client sees the acknowledgment.
+//! Replaying the log through the deterministic [`lumos_sim::SimSession`]
+//! therefore reconstructs the exact pre-crash state; see
+//! [`crate::recovery`].
+//!
+//! # On-disk format
+//!
+//! A journal directory holds numbered segments and snapshots:
+//!
+//! ```text
+//! journal-000000.log            records 0..  (first segment)
+//! snapshot-000001.json          state *before* journal-000001.log
+//! journal-000001.log            records appended after the snapshot
+//! ```
+//!
+//! Each segment is a sequence of framed NDJSON records, one per line:
+//!
+//! ```text
+//! <len> <crc32> <json>\n
+//! ```
+//!
+//! where `len` is the byte length of `<json>`, `crc32` is the IEEE CRC-32
+//! of `<json>` as eight lowercase hex digits, and `<json>` is one
+//! [`JournalRecord`] document (JSON string escaping guarantees it contains
+//! no raw newline). The frame makes torn writes detectable: a record whose
+//! line is incomplete, whose length disagrees, whose checksum fails, or
+//! whose JSON does not parse marks the **torn tail** — recovery keeps
+//! every record before it, truncates the file at its byte offset with a
+//! warning, and never crashes on a damaged journal.
+//!
+//! Each segment begins with a [`JournalRecord::Config`] header so it is
+//! self-describing; replay validates the header against the server's
+//! configuration and warns on drift.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use lumos_core::{SystemSpec, Timestamp};
+use lumos_sim::SimConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::SubmitSpec;
+
+/// When appended records are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record: no acknowledged command is ever lost.
+    Always,
+    /// `fsync` at most once per this many milliseconds: bounded loss
+    /// window, near-`Never` throughput.
+    Interval(u64),
+    /// Never `fsync` explicitly; the OS flushes when it pleases. A machine
+    /// crash may lose acknowledged commands (a process crash does not:
+    /// writes still reach the page cache).
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI syntax: `always`, `never`, or `interval:MS`.
+    ///
+    /// # Errors
+    /// Returns a usage message for anything else.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(Self::Always),
+            "never" => Ok(Self::Never),
+            other => other
+                .strip_prefix("interval:")
+                .and_then(|ms| ms.parse().ok())
+                .map(Self::Interval)
+                .ok_or_else(|| {
+                    format!(
+                        "invalid fsync policy `{other}` (expected always, never, or interval:MS)"
+                    )
+                }),
+        }
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Always => write!(f, "always"),
+            Self::Interval(ms) => write!(f, "interval:{ms}"),
+            Self::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// Journaling configuration carried inside
+/// [`crate::server::ServeConfig`].
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Directory holding segments and snapshots (created on demand).
+    pub dir: PathBuf,
+    /// Durability policy for appended records.
+    pub fsync: FsyncPolicy,
+    /// Rotate (snapshot + new segment) after this many records per
+    /// segment; `0` disables rotation.
+    pub snapshot_every: u64,
+}
+
+impl JournalConfig {
+    /// Defaults: fsync every record, rotate every 4096 records.
+    #[must_use]
+    pub fn new(dir: PathBuf) -> Self {
+        Self {
+            dir,
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 4096,
+        }
+    }
+}
+
+/// One durable record: a state-mutating command, or a segment header.
+///
+/// Mutating records carry the simulation clock at the moment the live
+/// server applied them (`now`), so replay advances to exactly that instant
+/// first — which also reproduces the implicit wall-clock advances of
+/// `--time-scale` servers. Rejected submissions are *not* journaled: they
+/// never mutate the session (the rejection counters are process-local and
+/// reset on recovery).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// Segment header: the configuration the session runs under.
+    #[allow(missing_docs)]
+    Config { system: SystemSpec, sim: SimConfig },
+    /// An accepted submission, with `job.submit` resolved (never `None`).
+    #[allow(missing_docs)]
+    Submit { now: Timestamp, job: SubmitSpec },
+    /// An accepted cancellation.
+    #[allow(missing_docs)]
+    Cancel { now: Timestamp, id: u64 },
+    /// An explicit `Advance` (or the final drain of a graceful shutdown).
+    #[allow(missing_docs)]
+    Advance { to: Timestamp },
+}
+
+// ---- CRC-32 (IEEE 802.3, reflected) --------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 (the zlib/Ethernet polynomial) of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---- record framing ------------------------------------------------------
+
+/// Frames one record as a journal line (including the trailing newline).
+#[must_use]
+pub fn encode_record(record: &JournalRecord) -> String {
+    let json = serde_json::to_string(record).expect("journal records serialize");
+    format!("{} {:08x} {}\n", json.len(), crc32(json.as_bytes()), json)
+}
+
+/// Decodes one framed line (without its trailing newline).
+///
+/// # Errors
+/// Describes the first framing, checksum, or JSON problem found.
+pub fn decode_line(line: &[u8]) -> Result<JournalRecord, String> {
+    let text = std::str::from_utf8(line).map_err(|e| format!("record is not UTF-8: {e}"))?;
+    let (len_field, rest) = text
+        .split_once(' ')
+        .ok_or("missing length prefix".to_string())?;
+    let (crc_field, json) = rest
+        .split_once(' ')
+        .ok_or("missing checksum field".to_string())?;
+    let len: usize = len_field
+        .parse()
+        .map_err(|_| format!("bad length prefix `{len_field}`"))?;
+    let crc = u32::from_str_radix(crc_field, 16)
+        .map_err(|_| format!("bad checksum field `{crc_field}`"))?;
+    if json.len() != len {
+        return Err(format!(
+            "length mismatch: prefix says {len} bytes, record has {}",
+            json.len()
+        ));
+    }
+    let actual = crc32(json.as_bytes());
+    if actual != crc {
+        return Err(format!(
+            "checksum mismatch: recorded {crc:08x}, computed {actual:08x}"
+        ));
+    }
+    serde_json::from_str(json).map_err(|e| format!("bad record JSON: {e}"))
+}
+
+/// Where and why a segment's readable prefix ended early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset of the first damaged record.
+    pub offset: u64,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+/// The readable content of one segment file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentRecords {
+    /// Intact records, in order.
+    pub records: Vec<JournalRecord>,
+    /// Set when the file ends in a damaged record; everything at and past
+    /// `offset` should be discarded.
+    pub torn: Option<TornTail>,
+}
+
+/// Reads every intact record of a segment, stopping (without error) at the
+/// first torn or corrupt one.
+///
+/// # Errors
+/// Only I/O errors reading the file; damage is reported via
+/// [`SegmentRecords::torn`].
+pub fn read_segment(path: &Path) -> io::Result<SegmentRecords> {
+    let data = std::fs::read(path)?;
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    let torn = loop {
+        if offset >= data.len() {
+            break None;
+        }
+        let rest = &data[offset..];
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            break Some(TornTail {
+                offset: offset as u64,
+                reason: "truncated record (no trailing newline)".into(),
+            });
+        };
+        match decode_line(&rest[..nl]) {
+            Ok(record) => {
+                records.push(record);
+                offset += nl + 1;
+            }
+            Err(reason) => {
+                break Some(TornTail {
+                    offset: offset as u64,
+                    reason,
+                });
+            }
+        }
+    };
+    Ok(SegmentRecords { records, torn })
+}
+
+// ---- directory layout ----------------------------------------------------
+
+/// Path of segment `seq` in `dir`.
+#[must_use]
+pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("journal-{seq:06}.log"))
+}
+
+/// Path of the snapshot taken before segment `seq` was opened.
+#[must_use]
+pub fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snapshot-{seq:06}.json"))
+}
+
+/// Sorted sequence numbers of `(segments, snapshots)` present in `dir`.
+///
+/// # Errors
+/// Propagates directory-read errors.
+pub fn scan_dir(dir: &Path) -> io::Result<(Vec<u64>, Vec<u64>)> {
+    let mut segments = Vec::new();
+    let mut snapshots = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = name
+            .strip_prefix("journal-")
+            .and_then(|r| r.strip_suffix(".log"))
+            .and_then(|r| r.parse().ok())
+        {
+            segments.push(seq);
+        } else if let Some(seq) = name
+            .strip_prefix("snapshot-")
+            .and_then(|r| r.strip_suffix(".json"))
+            .and_then(|r| r.parse().ok())
+        {
+            snapshots.push(seq);
+        }
+    }
+    segments.sort_unstable();
+    snapshots.sort_unstable();
+    Ok((segments, snapshots))
+}
+
+// ---- the active journal --------------------------------------------------
+
+/// The open, append-side view of a journal directory: one active segment
+/// plus the rotation machinery. Reading and repair live in
+/// [`crate::recovery`].
+#[derive(Debug)]
+pub struct Journal {
+    config: JournalConfig,
+    file: File,
+    seq: u64,
+    records_in_segment: u64,
+    last_sync: Instant,
+}
+
+impl Journal {
+    /// Opens segment `seq` for appending (creating it if absent);
+    /// `existing_records` is how many intact records it already holds.
+    ///
+    /// # Errors
+    /// Propagates file-open errors.
+    pub fn open_segment(
+        config: JournalConfig,
+        seq: u64,
+        existing_records: u64,
+    ) -> io::Result<Self> {
+        std::fs::create_dir_all(&config.dir)?;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&config.dir, seq))?;
+        Ok(Self {
+            config,
+            file,
+            seq,
+            records_in_segment: existing_records,
+            last_sync: Instant::now(),
+        })
+    }
+
+    /// Sequence number of the active segment.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Records in the active segment (including its `Config` header).
+    #[must_use]
+    pub fn records_in_segment(&self) -> u64 {
+        self.records_in_segment
+    }
+
+    /// The journal's configuration.
+    #[must_use]
+    pub fn config(&self) -> &JournalConfig {
+        &self.config
+    }
+
+    /// Appends one record and applies the fsync policy. On success the
+    /// record is in the OS page cache at minimum; under
+    /// [`FsyncPolicy::Always`] it is on stable storage.
+    ///
+    /// # Errors
+    /// Propagates write/sync errors — the caller must treat those as
+    /// fatal (fail-stop), because an unjournaled mutation must never be
+    /// acknowledged.
+    pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        self.file.write_all(encode_record(record).as_bytes())?;
+        self.records_in_segment += 1;
+        match self.config.fsync {
+            FsyncPolicy::Always => self.file.sync_data()?,
+            FsyncPolicy::Interval(ms) => {
+                if self.last_sync.elapsed().as_millis() >= u128::from(ms) {
+                    self.file.sync_data()?;
+                    self.last_sync = Instant::now();
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Whether the rotation threshold has been reached.
+    #[must_use]
+    pub fn wants_rotation(&self) -> bool {
+        self.config.snapshot_every > 0 && self.records_in_segment >= self.config.snapshot_every
+    }
+
+    /// Rotates: durably writes `snapshot_json` as `snapshot-(seq+1).json`
+    /// (via a temp file and atomic rename), syncs and closes the active
+    /// segment, and opens `journal-(seq+1).log` starting with the `header`
+    /// record. Older segments are kept — `journal inspect` can audit the
+    /// full history — but recovery only reads from the newest valid
+    /// snapshot on.
+    ///
+    /// # Errors
+    /// Propagates I/O errors; on error the journal keeps appending to the
+    /// current segment (rotation failure loses no data).
+    pub fn rotate(&mut self, snapshot_json: &str, header: &JournalRecord) -> io::Result<()> {
+        let next = self.seq + 1;
+        let tmp = self.config.dir.join(format!("snapshot-{next:06}.json.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(snapshot_json.as_bytes())?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, snapshot_path(&self.config.dir, next))?;
+        // The old segment must be durable before the snapshot supersedes it.
+        self.file.sync_data()?;
+        let file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(segment_path(&self.config.dir, next))?;
+        self.file = file;
+        self.seq = next;
+        self.records_in_segment = 0;
+        self.append(header)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64) -> JournalRecord {
+        JournalRecord::Cancel { now: 42, id }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic zlib check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn record_round_trips_through_frame() {
+        let rec = JournalRecord::Advance { to: 12_345 };
+        let line = encode_record(&rec);
+        assert!(line.ends_with('\n'));
+        assert_eq!(decode_line(line.trim_end().as_bytes()).unwrap(), rec);
+    }
+
+    #[test]
+    fn decode_rejects_tampering() {
+        let line = encode_record(&record(7));
+        let line = line.trim_end();
+        // Flip one payload byte: checksum must catch it.
+        let mut bytes = line.as_bytes().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let err = decode_line(&bytes).unwrap_err();
+        assert!(
+            err.contains("checksum mismatch") || err.contains("length mismatch"),
+            "unexpected error: {err}"
+        );
+        // Truncate the payload: length prefix must catch it.
+        let err = decode_line(&line.as_bytes()[..line.len() - 3]).unwrap_err();
+        assert!(err.contains("length mismatch"), "unexpected error: {err}");
+        // Garbage framing.
+        assert!(decode_line(b"not a record").is_err());
+        assert!(decode_line(b"").is_err());
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
+        assert_eq!(
+            FsyncPolicy::parse("interval:250").unwrap(),
+            FsyncPolicy::Interval(250)
+        );
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert!(FsyncPolicy::parse("interval:").is_err());
+        assert_eq!(FsyncPolicy::Interval(250).to_string(), "interval:250");
+    }
+}

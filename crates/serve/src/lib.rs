@@ -13,6 +13,12 @@
 //! load generator at it (see `examples/serve_load.rs`) and the answers
 //! are reproducible.
 //!
+//! With [`ServeConfig::journal`] set, the server is **durable**: every
+//! accepted mutation is written ahead to a checksummed journal
+//! ([`journal`]) and a restart replays it back to the exact pre-crash
+//! state ([`recovery`]) — the determinism of the simulation core makes
+//! replayed state and metrics byte-identical to an uninterrupted run.
+//!
 //! ```no_run
 //! use lumos_core::SystemSpec;
 //! use lumos_serve::{ServeConfig, Server};
@@ -25,10 +31,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
 pub mod metrics;
 pub mod protocol;
+pub mod recovery;
 pub mod server;
 
+pub use journal::{FsyncPolicy, Journal, JournalConfig, JournalRecord};
 pub use metrics::{LiveMetrics, WAIT_PERCENTILES};
 pub use protocol::{Request, Response, ServeStats, SubmitSpec};
+pub use recovery::{recover, Recovered, ServerSnapshot};
 pub use server::{ServeConfig, Server};

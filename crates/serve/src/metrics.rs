@@ -3,10 +3,25 @@
 //! Wait-time percentiles use the P² streaming estimators from
 //! `lumos-stats`, so the server reports p50/p90/p99 waits in O(1) memory
 //! no matter how long it runs.
+//!
+//! # Accuracy of the streamed percentiles
+//!
+//! P² is an approximation: it keeps five markers per percentile instead of
+//! the whole stream. The estimates are **exact for the first five
+//! observations** and, on the deterministic sequences pinned by this
+//! module's tests (uniform, exponential-like, and bimodal wait
+//! distributions of 10 000 observations), stay within **5 % relative
+//! error** of the exact type-7 sample quantile — typically well under
+//! 2 % for p50/p90. Pathological adversarial orderings can do worse; for
+//! publication-grade numbers, compute exact quantiles offline from the
+//! journal instead. The estimator state serializes losslessly (f64 JSON
+//! round-trips are exact), so recovered servers continue the same
+//! estimate trajectory to the bit.
 
 use lumos_core::Duration;
 use lumos_sim::{SimEvent, SimSession};
 use lumos_stats::{QuantileBank, Summary};
+use serde::{Deserialize, Serialize};
 
 use crate::protocol::ServeStats;
 
@@ -14,6 +29,12 @@ use crate::protocol::ServeStats;
 pub const WAIT_PERCENTILES: [f64; 3] = [0.5, 0.9, 0.99];
 
 /// Streaming aggregates over everything the session has done so far.
+///
+/// Serializable so a journaling server can checkpoint its metrics next to
+/// the session state; the rejection counter is part of the state, but
+/// connection-side backpressure rejections (counted outside the scheduler
+/// loop) are process-local and reset on recovery.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LiveMetrics {
     bsld_bound: Duration,
     wait_quantiles: QuantileBank,
@@ -102,5 +123,98 @@ mod tests {
         let (p, est) = stats.wait_quantiles[0];
         assert!((p - 0.5).abs() < 1e-12);
         assert!(est.is_some());
+    }
+
+    /// Feeds a deterministic wait sequence through the same `absorb` path
+    /// the server uses (fabricated `Started` events against an empty
+    /// session — unknown ids simply skip the slowdown lookup).
+    fn absorb_waits(waits: &[f64]) -> LiveMetrics {
+        let session = SimSession::new(&SystemSpec::theta(), SimConfig::default());
+        let mut metrics = LiveMetrics::new(10);
+        for (i, &w) in waits.iter().enumerate() {
+            let events = [SimEvent::Started {
+                id: i as u64,
+                time: 0,
+                wait: w as i64,
+            }];
+            metrics.absorb(&events, &session);
+        }
+        metrics
+    }
+
+    /// Asserts every reported percentile is within `bound` relative error
+    /// of the exact type-7 quantile of `waits` (absolute error for
+    /// near-zero quantiles).
+    fn assert_quantiles_close(waits: &[f64], bound: f64) {
+        let metrics = absorb_waits(waits);
+        let session = SimSession::new(&SystemSpec::theta(), SimConfig::default());
+        let stats = metrics.report(&session, 0);
+        for &(p, est) in &stats.wait_quantiles {
+            let est = est.expect("stream is non-empty");
+            let exact = lumos_stats::quantile(waits, p);
+            let err = if exact.abs() > 1.0 {
+                (est - exact).abs() / exact.abs()
+            } else {
+                (est - exact).abs()
+            };
+            assert!(
+                err <= bound,
+                "p{}: estimate {est} vs exact {exact} (err {err:.4})",
+                p * 100.0
+            );
+        }
+    }
+
+    // The deterministic sequences backing the documented 5% accuracy
+    // bound (module docs). Waits are integer seconds on the wire, so the
+    // generators round to integers before comparison.
+
+    #[test]
+    fn p2_tracks_uniform_waits_within_bound() {
+        let mut rng = lumos_stats::Rng::new(1234);
+        let waits: Vec<f64> = (0..10_000)
+            .map(|_| (rng.next_f64() * 5_000.0).floor())
+            .collect();
+        assert_quantiles_close(&waits, 0.05);
+    }
+
+    #[test]
+    fn p2_tracks_exponential_waits_within_bound() {
+        // Skewed like real wait times: many short waits, a long tail.
+        let mut rng = lumos_stats::Rng::new(99);
+        let waits: Vec<f64> = (0..10_000)
+            .map(|_| (-(1.0 - rng.next_f64()).ln() * 600.0).floor())
+            .collect();
+        assert_quantiles_close(&waits, 0.05);
+    }
+
+    #[test]
+    fn p2_tracks_bimodal_waits_within_bound() {
+        // Interactive jobs wait seconds; batch jobs wait hours.
+        let mut rng = lumos_stats::Rng::new(7);
+        let waits: Vec<f64> = (0..10_000)
+            .map(|_| {
+                if rng.next_f64() < 0.7 {
+                    (rng.next_f64() * 30.0).floor()
+                } else {
+                    (3_600.0 + rng.next_f64() * 7_200.0).floor()
+                }
+            })
+            .collect();
+        assert_quantiles_close(&waits, 0.05);
+    }
+
+    #[test]
+    fn metrics_round_trip_through_json() {
+        let mut rng = lumos_stats::Rng::new(5);
+        let waits: Vec<f64> = (0..500).map(|_| (rng.next_f64() * 100.0).floor()).collect();
+        let mut metrics = absorb_waits(&waits);
+        metrics.record_rejection();
+        let json = serde_json::to_string(&metrics).unwrap();
+        let restored: LiveMetrics = serde_json::from_str(&json).unwrap();
+        let session = SimSession::new(&SystemSpec::theta(), SimConfig::default());
+        let a = metrics.report(&session, 0);
+        let b = restored.report(&session, 0);
+        assert_eq!(a, b, "restored metrics report identically");
     }
 }

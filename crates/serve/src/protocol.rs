@@ -192,4 +192,19 @@ mod tests {
         assert!(Request::parse(r#"{"Nope": 1}"#).is_err());
         assert!(Request::parse(r#"{"Submit":{"job":{"id":1}}}"#).is_err());
     }
+
+    #[test]
+    fn parse_errors_name_the_offending_field() {
+        // A submit without its required `procs` must say so, not just
+        // "bad request" — the server relays this message verbatim (with a
+        // line-number prefix) to the client.
+        let err = Request::parse(r#"{"Submit":{"job":{"id":1,"runtime":60}}}"#).unwrap_err();
+        assert!(err.contains("procs"), "field not named: {err}");
+        // A wrong type names the field too.
+        let err = Request::parse(r#"{"Cancel":{"id":"seven"}}"#).unwrap_err();
+        assert!(
+            err.contains("id") || err.contains("integer"),
+            "no context: {err}"
+        );
+    }
 }

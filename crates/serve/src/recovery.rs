@@ -1,0 +1,300 @@
+//! Crash recovery: rebuilding a server from its journal directory.
+//!
+//! Recovery is deterministic replay. The journal holds every
+//! state-mutating command the crashed server acknowledged (see
+//! [`crate::journal`]); [`lumos_sim::SimSession`] is a pure function of
+//! its command sequence; therefore loading the newest valid snapshot and
+//! replaying the segments after it reconstructs the pre-crash session —
+//! and, because [`crate::metrics::LiveMetrics`] absorbs the replayed
+//! events through the same code path the live server uses, the recovered
+//! metrics are byte-identical too.
+//!
+//! Damage never aborts recovery, it only shrinks what is recovered:
+//! a torn tail is truncated with a warning; an unreadable snapshot falls
+//! back to the previous one (or to empty + full replay); segments after a
+//! gap or a mid-history tear are quarantined (renamed `*.orphaned`) so
+//! the journal stays linear.
+
+use std::io;
+use std::path::Path;
+
+use lumos_core::SystemSpec;
+use lumos_sim::SimSession;
+use serde::{Deserialize, Serialize};
+
+use crate::journal::{self, Journal, JournalConfig, JournalRecord};
+use crate::metrics::LiveMetrics;
+use crate::server::{job_from_spec, ServeConfig};
+
+/// What a rotation snapshot file (`snapshot-NNNNNN.json`) contains: the
+/// machine, the full session state, and the metrics accumulated so far.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerSnapshot {
+    /// The machine being scheduled (partition geometry derives from it).
+    pub system: SystemSpec,
+    /// Complete scheduling state.
+    pub state: lumos_sim::SessionState,
+    /// Streaming metrics at the moment of the snapshot.
+    pub metrics: LiveMetrics,
+}
+
+/// Serializes a rotation snapshot.
+#[must_use]
+pub fn snapshot_json(system: &SystemSpec, session: &SimSession, metrics: &LiveMetrics) -> String {
+    serde_json::to_string(&ServerSnapshot {
+        system: system.clone(),
+        state: session.save_state(),
+        metrics: metrics.clone(),
+    })
+    .expect("snapshots serialize")
+}
+
+/// Everything [`recover`] rebuilt.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The session, in its pre-crash state.
+    pub session: SimSession,
+    /// Metrics, byte-identical to the crashed server's.
+    pub metrics: LiveMetrics,
+    /// The system the recovered server schedules (the journal's view wins
+    /// over the CLI's on mismatch).
+    pub system: SystemSpec,
+    /// The journal, open for appending where the crashed server stopped.
+    pub journal: Journal,
+    /// Human-readable warnings (torn tails, config drift, quarantined
+    /// segments); empty for a clean recovery.
+    pub warnings: Vec<String>,
+    /// Mutating records replayed (excluding `Config` headers).
+    pub replayed: u64,
+}
+
+/// Recovers server state from `jc.dir`, creating a fresh journal when the
+/// directory is empty. Never fails on *damaged* journal content — only on
+/// real I/O errors.
+///
+/// # Errors
+/// Propagates filesystem errors (unreadable directory, failed truncate or
+/// rename, failed segment open).
+pub fn recover(serve: &ServeConfig, jc: &JournalConfig) -> io::Result<Recovered> {
+    std::fs::create_dir_all(&jc.dir)?;
+    let (segments, snapshots) = journal::scan_dir(&jc.dir)?;
+    let mut warnings = Vec::new();
+
+    // 1. Newest loadable snapshot, else empty state.
+    let mut base = None;
+    for &seq in snapshots.iter().rev() {
+        if let Some(loaded) = load_snapshot(&jc.dir, seq, &mut warnings) {
+            base = Some((seq, loaded));
+            break;
+        }
+    }
+    let mut virgin = base.is_none();
+    let (start_seq, (mut system, mut session, mut metrics)) = base.unwrap_or_else(|| {
+        let mut s = SimSession::new(&serve.system, serve.sim);
+        s.advance_to(0);
+        (
+            0,
+            (
+                serve.system.clone(),
+                s,
+                LiveMetrics::new(serve.sim.bsld_bound),
+            ),
+        )
+    });
+    if system != serve.system {
+        warnings.push(
+            "journaled system differs from the configured one; continuing the journaled system"
+                .into(),
+        );
+    }
+
+    // 2. The contiguous run of segments from the snapshot on; anything
+    //    after a gap is unusable history.
+    let mut contiguous = Vec::new();
+    let mut expected = start_seq;
+    for &seq in segments.iter().filter(|&&s| s >= start_seq) {
+        if seq != expected {
+            warnings.push(format!(
+                "segment gap: expected journal-{expected:06}.log, found journal-{seq:06}.log; \
+                 quarantining later segments"
+            ));
+            break;
+        }
+        contiguous.push(seq);
+        expected = seq + 1;
+    }
+
+    // 3. Replay, truncating a torn tail and stopping at mid-history tears.
+    let mut replayed = 0u64;
+    let mut active_seq = start_seq;
+    let mut active_records = 0u64;
+    let mut stop_after = None;
+    for (i, &seq) in contiguous.iter().enumerate() {
+        let path = journal::segment_path(&jc.dir, seq);
+        let seg = journal::read_segment(&path)?;
+        if let Some(torn) = &seg.torn {
+            warnings.push(format!(
+                "journal-{seq:06}.log: torn record at byte {}: {}; truncating",
+                torn.offset, torn.reason
+            ));
+            let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+            file.set_len(torn.offset)?;
+            file.sync_data()?;
+            if i + 1 < contiguous.len() {
+                warnings.push(format!(
+                    "journal-{seq:06}.log was torn mid-history; quarantining later segments"
+                ));
+                stop_after = Some(i);
+            }
+        }
+        active_seq = seq;
+        active_records = seg.records.len() as u64;
+        for record in seg.records {
+            replayed += apply(
+                record,
+                &mut system,
+                &mut session,
+                &mut metrics,
+                serve,
+                &mut virgin,
+                &mut warnings,
+            );
+        }
+        if stop_after.is_some() {
+            break;
+        }
+    }
+
+    // 4. Quarantine segments that can no longer be part of linear history.
+    for &seq in segments.iter().filter(|&&s| s > active_seq) {
+        let from = journal::segment_path(&jc.dir, seq);
+        let to = from.with_extension("log.orphaned");
+        std::fs::rename(&from, &to)?;
+        warnings.push(format!(
+            "quarantined journal-{seq:06}.log as {}",
+            to.display()
+        ));
+    }
+
+    // 5. Reopen the active segment for appending; a brand-new (or fully
+    //    truncated) segment gets its Config header.
+    let mut journal = Journal::open_segment(jc.clone(), active_seq, active_records)?;
+    if journal.records_in_segment() == 0 {
+        journal.append(&JournalRecord::Config {
+            system: system.clone(),
+            sim: *session.config(),
+        })?;
+    }
+
+    Ok(Recovered {
+        session,
+        metrics,
+        system,
+        journal,
+        warnings,
+        replayed,
+    })
+}
+
+/// Loads and restores one snapshot file; on any failure, warns and
+/// returns `None` so recovery falls back to an older snapshot.
+fn load_snapshot(
+    dir: &Path,
+    seq: u64,
+    warnings: &mut Vec<String>,
+) -> Option<(SystemSpec, SimSession, LiveMetrics)> {
+    let path = journal::snapshot_path(dir, seq);
+    let mut fail = |what: String| {
+        warnings.push(format!(
+            "snapshot-{seq:06}.json: {what}; falling back to an earlier snapshot"
+        ));
+        None
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => return fail(format!("unreadable: {e}")),
+    };
+    let snap: ServerSnapshot = match serde_json::from_str(&text) {
+        Ok(snap) => snap,
+        Err(e) => return fail(format!("corrupt: {e}")),
+    };
+    match SimSession::restore(&snap.system, snap.state) {
+        Ok(session) => Some((snap.system, session, snap.metrics)),
+        Err(e) => fail(format!("inconsistent: {e}")),
+    }
+}
+
+/// Applies one journal record; returns 1 for a replayed mutation, 0 for a
+/// header. Inconsistencies are warned about and skipped — a damaged
+/// journal degrades recovery, it never aborts it.
+fn apply(
+    record: JournalRecord,
+    system: &mut SystemSpec,
+    session: &mut SimSession,
+    metrics: &mut LiveMetrics,
+    serve: &ServeConfig,
+    virgin: &mut bool,
+    warnings: &mut Vec<String>,
+) -> u64 {
+    match record {
+        JournalRecord::Config { system: js, sim } => {
+            let differs = js != *system || sim != *session.config();
+            if differs && *virgin {
+                // The journal was written under a different configuration
+                // than the CLI provided this time. Continuity wins: adopt
+                // the journaled configuration before replaying.
+                if js != serve.system || sim != serve.sim {
+                    warnings.push(
+                        "journal header differs from the configured system/policy; \
+                         continuing the journaled configuration"
+                            .into(),
+                    );
+                }
+                let mut s = SimSession::new(&js, sim);
+                s.advance_to(0);
+                *session = s;
+                *metrics = LiveMetrics::new(sim.bsld_bound);
+                *system = js;
+            } else if differs {
+                warnings.push(
+                    "mid-journal Config header disagrees with replayed state; ignoring it".into(),
+                );
+            }
+            0
+        }
+        JournalRecord::Submit { now, job } => {
+            *virgin = false;
+            session.advance_to(now);
+            let spec_id = job.id;
+            let built = job_from_spec(&job, session.now().max(0));
+            match session.submit(built) {
+                Ok(()) => session.advance_to(session.now()),
+                Err(e) => warnings.push(format!(
+                    "replay: journaled submission of job {spec_id} no longer applies ({e}); skipped"
+                )),
+            }
+            let events = session.drain_events();
+            metrics.absorb(&events, session);
+            1
+        }
+        JournalRecord::Cancel { now, id } => {
+            *virgin = false;
+            session.advance_to(now);
+            if !session.cancel(id) {
+                warnings.push(format!(
+                    "replay: journaled cancellation of job {id} no longer applies; skipped"
+                ));
+            }
+            let events = session.drain_events();
+            metrics.absorb(&events, session);
+            1
+        }
+        JournalRecord::Advance { to } => {
+            *virgin = false;
+            session.advance_to(to);
+            let events = session.drain_events();
+            metrics.absorb(&events, session);
+            1
+        }
+    }
+}

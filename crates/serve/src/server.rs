@@ -16,21 +16,30 @@
 //!
 //! Shutdown: a `Shutdown` command stops command intake, drains every
 //! pending and running job to completion, and answers with the same
-//! [`SimMetrics`] a batch replay of the identical arrival sequence would
+//! [`lumos_sim::SimMetrics`] a batch replay of the identical arrival sequence would
 //! produce.
+//!
+//! Durability: with [`ServeConfig::journal`] set, every state-mutating
+//! command is appended to a write-ahead journal **before** its
+//! acknowledgment is sent (see [`crate::journal`]), and startup replays
+//! the journal to the pre-crash state (see [`crate::recovery`]). A failed
+//! journal append is fail-stop: the command is answered with an error and
+//! the server halts rather than acknowledge an unjournaled mutation.
 
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use lumos_core::{Job, JobStatus, SystemSpec, Timestamp};
 use lumos_sim::{SimConfig, SimSession};
 
+use crate::journal::{JournalConfig, JournalRecord};
 use crate::metrics::LiveMetrics;
 use crate::protocol::{Request, Response, SubmitSpec};
+use crate::recovery::{self, Recovered};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -44,10 +53,12 @@ pub struct ServeConfig {
     /// Simulation seconds per wall-clock second; `0` = virtual time
     /// (clock moves only on `Advance` commands).
     pub time_scale: f64,
+    /// Write-ahead journaling; `None` runs without durability.
+    pub journal: Option<JournalConfig>,
 }
 
 impl ServeConfig {
-    /// Defaults: virtual time, queue of 1024 commands.
+    /// Defaults: virtual time, queue of 1024 commands, no journal.
     #[must_use]
     pub fn new(system: SystemSpec) -> Self {
         Self {
@@ -55,6 +66,7 @@ impl ServeConfig {
             sim: SimConfig::default(),
             queue_capacity: 1024,
             time_scale: 0.0,
+            journal: None,
         }
     }
 }
@@ -72,6 +84,29 @@ struct Shared {
     /// Submissions rejected by backpressure (queue full).
     backpressure_rejects: AtomicU64,
     queue_capacity: usize,
+    /// Set once the reply that ended the scheduler loop (`Bye`, or the
+    /// fail-stop error) has been flushed to its client — or provably never
+    /// will be. `run` waits on it so the process cannot exit between the
+    /// scheduler answering and the connection thread writing the answer.
+    terminal_flushed: Mutex<bool>,
+    terminal_cv: Condvar,
+}
+
+impl Shared {
+    fn mark_terminal_flushed(&self) {
+        *self.terminal_flushed.lock().expect("terminal flag lock") = true;
+        self.terminal_cv.notify_all();
+    }
+}
+
+/// Whether this response is the one that ends the scheduler loop, so its
+/// flush gates process exit.
+fn is_terminal(response: &Response) -> bool {
+    match response {
+        Response::Bye { .. } => true,
+        Response::Error { message } => message.ends_with("server stopping"),
+        _ => false,
+    }
 }
 
 /// A bound scheduling server. Create with [`Server::bind`], then [`Server::run`].
@@ -106,12 +141,33 @@ impl Server {
     /// Propagates socket errors from the initial setup.
     pub fn run(self, serve_stdin: bool) -> io::Result<()> {
         let addr = self.listener.local_addr()?;
+        // Recover (or initialize) journal state before accepting clients,
+        // so the first command already sees the pre-crash session.
+        let recovered = match &self.config.journal {
+            Some(jc) => {
+                let r = recovery::recover(&self.config, jc)?;
+                for w in &r.warnings {
+                    eprintln!("lumos-serve: recovery: {w}");
+                }
+                if r.replayed > 0 {
+                    eprintln!(
+                        "lumos-serve: recovered {} journaled commands (t = {})",
+                        r.replayed,
+                        r.session.now()
+                    );
+                }
+                Some(r)
+            }
+            None => None,
+        };
         let (tx, rx) = mpsc::sync_channel::<Envelope>(self.config.queue_capacity);
         let shared = Arc::new(Shared {
             commands: tx,
             shutting_down: AtomicBool::new(false),
             backpressure_rejects: AtomicU64::new(0),
             queue_capacity: self.config.queue_capacity,
+            terminal_flushed: Mutex::new(false),
+            terminal_cv: Condvar::new(),
         });
 
         // Accept loop.
@@ -142,7 +198,16 @@ impl Server {
             });
         }
 
-        scheduler_loop(&self.config, &rx, &shared);
+        scheduler_loop(&self.config, &rx, &shared, recovered);
+
+        // The final reply is written by a connection thread; wait for that
+        // flush, or the process could exit with the answer still queued.
+        let flushed = shared.terminal_flushed.lock().expect("terminal flag lock");
+        let _ = shared.terminal_cv.wait_timeout_while(
+            flushed,
+            std::time::Duration::from_secs(5),
+            |done| !*done,
+        );
 
         // Wake the accept loop so its thread exits.
         shared.shutting_down.store(true, Ordering::SeqCst);
@@ -152,12 +217,27 @@ impl Server {
 }
 
 /// The single thread that owns the simulation.
-fn scheduler_loop(config: &ServeConfig, rx: &Receiver<Envelope>, shared: &Shared) {
-    let mut session = SimSession::new(&config.system, config.sim);
-    let mut metrics = LiveMetrics::new(config.sim.bsld_bound);
+fn scheduler_loop(
+    config: &ServeConfig,
+    rx: &Receiver<Envelope>,
+    shared: &Shared,
+    recovered: Option<Recovered>,
+) {
+    let (system, mut session, mut metrics, mut journal) = match recovered {
+        Some(r) => (r.system, r.session, r.metrics, Some(r.journal)),
+        None => {
+            let mut session = SimSession::new(&config.system, config.sim);
+            // Sessions start at t = 0, not at the dawn of representable time.
+            session.advance_to(0);
+            (
+                config.system.clone(),
+                session,
+                LiveMetrics::new(config.sim.bsld_bound),
+                None,
+            )
+        }
+    };
     let epoch = Instant::now();
-    // Sessions start at t = 0, not at the dawn of representable time.
-    session.advance_to(0);
 
     while let Ok(Envelope { req, reply }) = rx.recv() {
         if config.time_scale > 0.0 {
@@ -165,11 +245,51 @@ fn scheduler_loop(config: &ServeConfig, rx: &Receiver<Envelope>, shared: &Shared
             session.advance_to(sim_now);
         }
         let shutdown = matches!(req, Request::Shutdown);
-        let response = handle(req, &mut session, &mut metrics, config, shared);
+        let (response, record) = handle(req, &mut session, &mut metrics, config, shared);
+        // Write-ahead: a mutation is durable before it is acknowledged.
+        if let (Some(journal), Some(record)) = (journal.as_mut(), record.as_ref()) {
+            if let Err(e) = journal.append(record) {
+                // Fail-stop: never acknowledge an unjournaled mutation.
+                eprintln!("lumos-serve: journal append failed: {e}; stopping");
+                let undeliverable = reply
+                    .send(Response::Error {
+                        message: format!("journal write failed ({e}); server stopping"),
+                    })
+                    .is_err();
+                if undeliverable {
+                    shared.mark_terminal_flushed();
+                }
+                break;
+            }
+        }
         let events = session.drain_events();
         metrics.absorb(&events, &session);
-        let _ = reply.send(response);
+        // Rotation happens after the absorb so the snapshot's metrics
+        // include this record's events (the snapshot must equal the state
+        // *before* the next segment's records).
+        if !shutdown {
+            if let Some(journal) = journal.as_mut() {
+                if record.is_some() && journal.wants_rotation() {
+                    let snap = recovery::snapshot_json(&system, &session, &metrics);
+                    let header = JournalRecord::Config {
+                        system: system.clone(),
+                        sim: *session.config(),
+                    };
+                    if let Err(e) = journal.rotate(&snap, &header) {
+                        // Not fatal: the old segment is intact, recovery
+                        // just replays more.
+                        eprintln!("lumos-serve: journal rotation failed: {e}; continuing");
+                    }
+                }
+            }
+        }
+        let undeliverable = reply.send(response).is_err();
         if shutdown {
+            if undeliverable {
+                // The shutting-down client vanished before its `Bye`;
+                // nothing is left to wait for.
+                shared.mark_terminal_flushed();
+            }
             break;
         }
     }
@@ -182,72 +302,11 @@ fn scheduler_loop(config: &ServeConfig, rx: &Receiver<Envelope>, shared: &Shared
     }
 }
 
-fn handle(
-    req: Request,
-    session: &mut SimSession,
-    metrics: &mut LiveMetrics,
-    config: &ServeConfig,
-    shared: &Shared,
-) -> Response {
-    match req {
-        Request::Submit { job } => submit(job, session, metrics),
-        Request::Cancel { id } => Response::Cancelled {
-            id,
-            ok: session.cancel(id),
-        },
-        Request::Query { id } => match session.query(id) {
-            Some(state) => Response::Job {
-                id,
-                state,
-                wait: session.job(id).and_then(|j| j.wait),
-            },
-            None => Response::Error {
-                message: format!("unknown job id {id}"),
-            },
-        },
-        Request::Advance { to } => {
-            if config.time_scale > 0.0 {
-                Response::Error {
-                    message: "Advance is only valid on virtual-time servers (--time-scale 0)"
-                        .into(),
-                }
-            } else {
-                session.advance_to(to);
-                Response::Advanced { now: session.now() }
-            }
-        }
-        Request::Stats => Response::Stats {
-            stats: metrics.report(session, shared.backpressure_rejects.load(Ordering::Relaxed)),
-        },
-        Request::Snapshot => Response::Snapshot {
-            snapshot: session.snapshot(),
-        },
-        Request::Shutdown => {
-            session.advance_to_completion();
-            let events = session.drain_events();
-            metrics.absorb(&events, session);
-            let snap = session.snapshot();
-            let ran_any = snap.submitted > snap.cancelled;
-            // `into_result` consumes the session; replace it with an empty
-            // one (nothing can reach it — the loop exits right after).
-            let drained = std::mem::replace(session, SimSession::new(&config.system, config.sim));
-            Response::Bye {
-                metrics: ran_any.then(|| drained.into_result().metrics),
-            }
-        }
-    }
-}
-
-fn submit(spec: SubmitSpec, session: &mut SimSession, metrics: &mut LiveMetrics) -> Response {
-    if session.query(spec.id).is_some() {
-        metrics.record_rejection();
-        return Response::Rejected {
-            id: Some(spec.id),
-            reason: format!("duplicate job id {}", spec.id),
-        };
-    }
-    let now_floor = session.now().max(0);
-    let job = Job {
+/// Builds the trace-shaped [`Job`] a [`SubmitSpec`] describes;
+/// `now_floor` resolves a missing submit time. Shared by the live submit
+/// path and journal replay so both construct bit-identical jobs.
+pub(crate) fn job_from_spec(spec: &SubmitSpec, now_floor: Timestamp) -> Job {
+    Job {
         id: spec.id,
         user: spec.user.unwrap_or(0),
         submit: spec.submit.unwrap_or(now_floor),
@@ -258,23 +317,145 @@ fn submit(spec: SubmitSpec, session: &mut SimSession, metrics: &mut LiveMetrics)
         nodes: u32::try_from(spec.procs).unwrap_or(u32::MAX),
         status: JobStatus::Passed,
         virtual_cluster: spec.virtual_cluster,
-    };
+    }
+}
+
+/// Processes one command; returns the response plus the journal record to
+/// persist when the command mutated the session (`None` for reads and
+/// refused mutations).
+fn handle(
+    req: Request,
+    session: &mut SimSession,
+    metrics: &mut LiveMetrics,
+    config: &ServeConfig,
+    shared: &Shared,
+) -> (Response, Option<JournalRecord>) {
+    match req {
+        Request::Submit { job } => submit(job, session, metrics),
+        Request::Cancel { id } => {
+            let ok = session.cancel(id);
+            (
+                Response::Cancelled { id, ok },
+                ok.then(|| JournalRecord::Cancel {
+                    now: session.now(),
+                    id,
+                }),
+            )
+        }
+        Request::Query { id } => (
+            match session.query(id) {
+                Some(state) => Response::Job {
+                    id,
+                    state,
+                    wait: session.job(id).and_then(|j| j.wait),
+                },
+                None => Response::Error {
+                    message: format!("unknown job id {id}"),
+                },
+            },
+            None,
+        ),
+        Request::Advance { to } => {
+            if config.time_scale > 0.0 {
+                (
+                    Response::Error {
+                        message: "Advance is only valid on virtual-time servers (--time-scale 0)"
+                            .into(),
+                    },
+                    None,
+                )
+            } else {
+                session.advance_to(to);
+                let now = session.now();
+                (
+                    Response::Advanced { now },
+                    Some(JournalRecord::Advance { to: now }),
+                )
+            }
+        }
+        Request::Stats => (
+            Response::Stats {
+                stats: metrics.report(session, shared.backpressure_rejects.load(Ordering::Relaxed)),
+            },
+            None,
+        ),
+        Request::Snapshot => (
+            Response::Snapshot {
+                snapshot: session.snapshot(),
+            },
+            None,
+        ),
+        Request::Shutdown => {
+            session.advance_to_completion();
+            let events = session.drain_events();
+            metrics.absorb(&events, session);
+            // Journal the drain so a restart resumes the drained state.
+            let record = JournalRecord::Advance { to: session.now() };
+            let snap = session.snapshot();
+            let ran_any = snap.submitted > snap.cancelled;
+            // `into_result` consumes the session; replace it with an empty
+            // one (nothing can reach it — the loop exits right after).
+            let drained = std::mem::replace(session, SimSession::new(&config.system, config.sim));
+            (
+                Response::Bye {
+                    metrics: ran_any.then(|| drained.into_result().metrics),
+                },
+                Some(record),
+            )
+        }
+    }
+}
+
+fn submit(
+    spec: SubmitSpec,
+    session: &mut SimSession,
+    metrics: &mut LiveMetrics,
+) -> (Response, Option<JournalRecord>) {
+    if session.query(spec.id).is_some() {
+        metrics.record_rejection();
+        return (
+            Response::Rejected {
+                id: Some(spec.id),
+                reason: format!("duplicate job id {}", spec.id),
+            },
+            None,
+        );
+    }
+    let id = spec.id;
+    let now = session.now();
+    let job = job_from_spec(&spec, now.max(0));
+    let resolved_submit = job.submit;
     match session.submit(job) {
         Ok(()) => {
             // Process an arrival scheduled at or before the current
             // instant immediately, so the reply reflects its real state.
             session.advance_to(session.now());
-            Response::Submitted {
-                id: spec.id,
-                state: session.query(spec.id).expect("just submitted"),
-            }
+            let record = JournalRecord::Submit {
+                now,
+                job: SubmitSpec {
+                    // Resolve the defaulted arrival time so replay does not
+                    // depend on the clock at replay time.
+                    submit: Some(resolved_submit),
+                    ..spec
+                },
+            };
+            (
+                Response::Submitted {
+                    id,
+                    state: session.query(id).expect("just submitted"),
+                },
+                Some(record),
+            )
         }
         Err(e) => {
             metrics.record_rejection();
-            Response::Rejected {
-                id: Some(spec.id),
-                reason: e.to_string(),
-            }
+            (
+                Response::Rejected {
+                    id: Some(id),
+                    reason: e.to_string(),
+                },
+                None,
+            )
         }
     }
 }
@@ -287,25 +468,37 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
 }
 
 /// The request/response loop shared by TCP connections and stdin.
+/// Physical lines (blank ones included) are counted so parse errors can
+/// name the offending line of the stream.
 fn serve_lines<R: BufRead, W: Write>(reader: R, mut writer: W, shared: &Shared) -> io::Result<()> {
-    for line in reader.lines() {
+    for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let response = dispatch(&line, shared);
-        writeln!(writer, "{}", response.to_line())?;
-        writer.flush()?;
+        let response = dispatch(&line, idx + 1, shared);
+        let terminal = is_terminal(&response);
+        let wrote = writeln!(writer, "{}", response.to_line()).and_then(|()| writer.flush());
+        if terminal {
+            // Written (or failed definitively): `run` may exit now.
+            shared.mark_terminal_flushed();
+        }
+        wrote?;
     }
     Ok(())
 }
 
 /// Parses one line, routes it through the bounded queue, and waits for
-/// the scheduler's answer.
-fn dispatch(line: &str, shared: &Shared) -> Response {
+/// the scheduler's answer. `lineno` is the 1-based physical line number
+/// within this client's stream, used to contextualize parse errors.
+fn dispatch(line: &str, lineno: usize, shared: &Shared) -> Response {
     let req = match Request::parse(line) {
         Ok(req) => req,
-        Err(message) => return Response::Error { message },
+        Err(message) => {
+            return Response::Error {
+                message: format!("line {lineno}: {message}"),
+            }
+        }
     };
     let submit_id = match &req {
         Request::Submit { job } => Some(job.id),

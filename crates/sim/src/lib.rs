@@ -35,5 +35,5 @@ pub mod simulator;
 pub use backfill::{Backfill, Relax};
 pub use metrics::{SimMetrics, UtilizationTimeline};
 pub use policy::Policy;
-pub use session::{JobState, SessionSnapshot, SimEvent, SimSession};
+pub use session::{JobState, SessionSnapshot, SessionState, SimEvent, SimSession};
 pub use simulator::{simulate, simulate_with_walltimes, SimConfig, SimResult};

@@ -19,7 +19,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use lumos_core::{CoreError, Duration, Job, Result, SystemSpec, Timestamp};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::backfill::Backfill;
 use crate::cluster::{Cluster, RunningJob};
@@ -28,7 +28,7 @@ use crate::profile::CapacityProfile;
 use crate::simulator::{SimConfig, SimResult};
 
 /// Lifecycle state of a job inside a session.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JobState {
     /// Submitted, but its submit time is still in the future.
     Pending,
@@ -43,7 +43,7 @@ pub enum JobState {
 }
 
 /// Something that happened inside the session, in event order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SimEvent {
     /// A job left the waiting queue and began executing.
     Started {
@@ -95,11 +95,53 @@ pub struct SessionSnapshot {
     pub utilization: f64,
 }
 
+/// Complete, serializable scheduling state of a [`SimSession`].
+///
+/// Produced by [`SimSession::save_state`] and consumed by
+/// [`SimSession::restore`]. Only *facts* are stored — the job table with
+/// observed waits, per-job lifecycle states, planning walltimes, issued
+/// reservations, and the accumulated observables (violations, timeline,
+/// queue maxima, undrained events). Everything derivable is rebuilt on
+/// restore from those facts plus the [`SystemSpec`]: partition routing and
+/// effective requests (via the deterministic [`crate::cluster::Cluster::route`]),
+/// policy keys (the policy key never depends on the observed wait), queue
+/// orderings, the running set, and the completion heap. That keeps the
+/// snapshot small and makes corruption detectable as inconsistency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionState {
+    /// Scheduling configuration the session runs under.
+    pub config: SimConfig,
+    /// Simulation time at the moment of the save.
+    pub clock: Timestamp,
+    /// Every job ever submitted, in submission order, with observed waits
+    /// filled in for started jobs.
+    pub jobs: Vec<Job>,
+    /// Per-job lifecycle state, parallel to `jobs`.
+    pub states: Vec<JobState>,
+    /// Per-job walltime the scheduler plans with, parallel to `jobs`.
+    pub plan_wall: Vec<Duration>,
+    /// Per-job promised (reserved) start time, parallel to `jobs`.
+    pub promised: Vec<Option<Timestamp>>,
+    /// Reservation violations observed so far, as `(promised, actual)`.
+    pub violations: Vec<(Timestamp, Timestamp)>,
+    /// Utilization timeline points, as `(time, used_units)`.
+    pub timeline: Vec<(Timestamp, u64)>,
+    /// Per-partition running-maximum queue length.
+    pub max_queue: Vec<usize>,
+    /// Global maximum total queue length.
+    pub max_queue_total: usize,
+    /// Events recorded but not yet drained at save time.
+    pub events: Vec<SimEvent>,
+    /// Whether the session records events.
+    pub record_events: bool,
+}
+
 /// An incremental scheduling simulation.
 ///
 /// Jobs must be submitted with `submit >= now` (no rewriting history);
 /// `advance_to` processes all arrivals and completions up to and including
 /// the target time. See the module docs for the determinism contract.
+#[derive(Debug)]
 pub struct SimSession {
     config: SimConfig,
     jobs: Vec<Job>,
@@ -364,6 +406,158 @@ impl SimSession {
                 used as f64 / capacity as f64
             },
         }
+    }
+
+    /// Captures the session's complete scheduling state for durable
+    /// storage. See [`SessionState`] for what is stored versus re-derived;
+    /// [`SimSession::restore`] is the inverse.
+    #[must_use]
+    pub fn save_state(&self) -> SessionState {
+        SessionState {
+            config: self.config,
+            clock: self.clock,
+            jobs: self.jobs.clone(),
+            states: self.state.clone(),
+            plan_wall: self.plan_wall.clone(),
+            promised: self.promised.clone(),
+            violations: self.violations.clone(),
+            timeline: self.timeline.clone(),
+            max_queue: self.max_queue.clone(),
+            max_queue_total: self.max_queue_total,
+            events: self.events.clone(),
+            record_events: self.record_events,
+        }
+    }
+
+    /// Rebuilds a session from a previously saved [`SessionState`].
+    ///
+    /// `system` must be the spec the state was saved under — partition
+    /// geometry is derived from it, and the restored session continues
+    /// exactly where the saved one stopped: identical future schedules for
+    /// identical future inputs, and `restore(save_state())` round-trips.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidSnapshot`] when the state is internally
+    /// inconsistent: mismatched table lengths, started jobs without a
+    /// recorded wait (or unstarted jobs with one), or running jobs that
+    /// overcommit a partition.
+    pub fn restore(system: &SystemSpec, state: SessionState) -> Result<Self> {
+        let SessionState {
+            config,
+            clock,
+            jobs,
+            states,
+            plan_wall,
+            promised,
+            violations,
+            timeline,
+            max_queue,
+            max_queue_total,
+            events,
+            record_events,
+        } = state;
+        let mut s = Self::new(system, config);
+        let n = jobs.len();
+        if states.len() != n || plan_wall.len() != n || promised.len() != n {
+            return Err(CoreError::InvalidSnapshot(format!(
+                "table lengths disagree: {n} jobs, {} states, {} walltimes, {} promises",
+                states.len(),
+                plan_wall.len(),
+                promised.len()
+            )));
+        }
+        let parts = s.cluster.partition_count();
+        if max_queue.len() != parts {
+            return Err(CoreError::InvalidSnapshot(format!(
+                "max_queue covers {} partitions, the system has {parts}",
+                max_queue.len()
+            )));
+        }
+        let mut pending: Vec<usize> = Vec::new();
+        let mut waiting: Vec<Vec<usize>> = vec![Vec::new(); parts];
+        let mut running: Vec<Vec<RunningJob>> = vec![Vec::new(); parts];
+        for (idx, job) in jobs.iter().enumerate() {
+            let part = s.cluster.route(job.virtual_cluster, job.procs);
+            let cap = s.cluster.partition(part).capacity;
+            let wall = plan_wall[idx];
+            s.part_of.push(part);
+            s.procs_eff.push(job.procs.min(cap));
+            s.key_of.push(s.config.policy.key_with(job, wall));
+            s.by_id.entry(job.id).or_insert(idx);
+            match states[idx] {
+                JobState::Pending | JobState::Waiting => {
+                    if job.wait.is_some() {
+                        return Err(CoreError::InvalidSnapshot(format!(
+                            "job {} is {:?} but already has a wait",
+                            job.id, states[idx]
+                        )));
+                    }
+                    if states[idx] == JobState::Pending {
+                        pending.push(idx);
+                    } else {
+                        waiting[part].push(idx);
+                    }
+                }
+                JobState::Running | JobState::Finished => {
+                    let Some(wait) = job.wait else {
+                        return Err(CoreError::InvalidSnapshot(format!(
+                            "job {} is {:?} but has no recorded wait",
+                            job.id, states[idx]
+                        )));
+                    };
+                    if states[idx] == JobState::Running {
+                        let start = job.submit + wait;
+                        running[part].push(RunningJob {
+                            idx,
+                            procs: job.procs.min(cap),
+                            end_estimate: start + wall,
+                            finish: start + job.runtime,
+                        });
+                    } else {
+                        s.finished_count += 1;
+                    }
+                }
+                JobState::Cancelled => s.cancelled_count += 1,
+            }
+        }
+        s.jobs = jobs;
+        s.plan_wall = plan_wall;
+        s.promised = promised;
+        s.state = states;
+        pending.sort_unstable_by_key(|&i| (s.jobs[i].submit, s.jobs[i].id));
+        s.pending = pending.into();
+        for (part, mut queue) in waiting.into_iter().enumerate() {
+            let jobs = &s.jobs;
+            let key_of = &s.key_of;
+            queue.sort_unstable_by(|&a, &b| {
+                (key_of[a], jobs[a].submit, jobs[a].id)
+                    .partial_cmp(&(key_of[b], jobs[b].submit, jobs[b].id))
+                    .expect("policy keys are finite")
+            });
+            s.cluster.partition_mut(part).waiting = queue;
+        }
+        for (part, mut run) in running.into_iter().enumerate() {
+            run.sort_unstable_by_key(|r| (r.end_estimate, r.idx));
+            for r in run {
+                let p = s.cluster.partition_mut(part);
+                if r.procs > p.free {
+                    return Err(CoreError::InvalidSnapshot(format!(
+                        "partition {part} overcommitted: job {} holds {} units with {} free",
+                        s.jobs[r.idx].id, r.procs, p.free
+                    )));
+                }
+                p.start(r);
+                s.finish_heap.push(Reverse((r.finish, r.idx)));
+            }
+        }
+        s.violations = violations;
+        s.timeline = timeline;
+        s.max_queue = max_queue;
+        s.max_queue_total = max_queue_total;
+        s.clock = clock;
+        s.events = events;
+        s.record_events = record_events;
+        Ok(s)
     }
 
     /// Finishes all outstanding work and folds the session into a
@@ -834,6 +1028,111 @@ mod tests {
         assert!(s.cancel(2));
         assert_eq!(s.query(3), Some(JobState::Running));
         assert_eq!(s.job(3).unwrap().wait, Some(8));
+    }
+
+    /// Jobs with every lifecycle state represented: finished, running,
+    /// waiting, pending, cancelled — frozen mid-flight at `t`.
+    fn mid_flight_session() -> SimSession {
+        let mut s = SimSession::new(&tiny(), SimConfig::default());
+        s.submit(job(1, 0, 10, 30, 10)).unwrap(); // finishes at 10
+        s.submit(job(2, 0, 100, 60, 100)).unwrap(); // running at t=20
+        s.submit(job(3, 5, 100, 80, 100)).unwrap(); // waiting (won't fit)
+        s.submit(job(4, 6, 50, 90, 50)).unwrap(); // waiting behind 3
+        s.submit(job(5, 500, 10, 1, 10)).unwrap(); // pending
+        s.submit(job(6, 7, 10, 95, 10)).unwrap(); // cancelled below
+        s.advance_to(20);
+        assert!(s.cancel(6));
+        s
+    }
+
+    #[test]
+    fn save_restore_round_trips() {
+        let s = mid_flight_session();
+        let state = s.save_state();
+        let restored = SimSession::restore(&tiny(), state.clone()).unwrap();
+        assert_eq!(
+            restored.save_state(),
+            state,
+            "save ∘ restore ∘ save is identity"
+        );
+        assert_eq!(restored.now(), s.now());
+        assert_eq!(restored.snapshot(), s.snapshot());
+        assert_eq!(restored.next_event_time(), s.next_event_time());
+    }
+
+    #[test]
+    fn state_survives_json() {
+        let state = mid_flight_session().save_state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: SessionState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn restored_session_continues_identically() {
+        let mut original = mid_flight_session();
+        let mut restored = SimSession::restore(&tiny(), original.save_state()).unwrap();
+        // Drive both forward with the same inputs; schedules must agree.
+        for s in [&mut original, &mut restored] {
+            s.submit(job(7, 25, 40, 20, 40)).unwrap();
+            s.advance_to(60);
+            assert!(s.cancel(5));
+        }
+        assert_eq!(original.drain_events(), restored.drain_events());
+        let (a, b) = (original.into_result(), restored.into_result());
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.timeline, b.timeline);
+        assert_eq!(a.max_queue_len, b.max_queue_len);
+        let wa: Vec<_> = a.jobs.iter().map(|j| (j.id, j.wait)).collect();
+        let wb: Vec<_> = b.jobs.iter().map(|j| (j.id, j.wait)).collect();
+        assert_eq!(wa, wb);
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state() {
+        let good = mid_flight_session().save_state();
+
+        let mut truncated = good.clone();
+        truncated.states.pop();
+        assert!(matches!(
+            SimSession::restore(&tiny(), truncated).unwrap_err(),
+            CoreError::InvalidSnapshot(_)
+        ));
+
+        let mut wrong_parts = good.clone();
+        wrong_parts.max_queue.push(0);
+        assert!(matches!(
+            SimSession::restore(&tiny(), wrong_parts).unwrap_err(),
+            CoreError::InvalidSnapshot(_)
+        ));
+
+        let mut waitless = good.clone();
+        let running = waitless
+            .states
+            .iter()
+            .position(|&st| st == JobState::Running)
+            .unwrap();
+        waitless.jobs[running].wait = None;
+        assert!(matches!(
+            SimSession::restore(&tiny(), waitless).unwrap_err(),
+            CoreError::InvalidSnapshot(_)
+        ));
+
+        let mut overcommitted = good;
+        for (j, st) in overcommitted.jobs.iter_mut().zip(&overcommitted.states) {
+            if *st == JobState::Running {
+                j.procs = 100; // partition capacity; two runners cannot fit
+            }
+        }
+        overcommitted.jobs.push(job(99, 0, 100, 100, 100));
+        overcommitted.jobs.last_mut().unwrap().wait = Some(0);
+        overcommitted.states.push(JobState::Running);
+        overcommitted.plan_wall.push(100);
+        overcommitted.promised.push(None);
+        assert!(matches!(
+            SimSession::restore(&tiny(), overcommitted).unwrap_err(),
+            CoreError::InvalidSnapshot(_)
+        ));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use lumos_core::{Job, SystemSpec, Trace};
 use lumos_sim::profile::CapacityProfile;
-use lumos_sim::{simulate, Backfill, Policy, Relax, SimConfig, SimSession};
+use lumos_sim::{simulate, Backfill, Policy, Relax, SessionState, SimConfig, SimSession};
 use proptest::prelude::*;
 use proptest::test_runner::TestRng;
 
@@ -135,6 +135,40 @@ proptest! {
     ) {
         let trace = Trace::new(tiny_system(50), jobs).unwrap();
         check_incremental_matches_batch(&trace, &config, seed)?;
+    }
+
+    /// A session checkpointed (through JSON) and restored at an arbitrary
+    /// point mid-stream must finish with exactly the batch outcome — the
+    /// invariant crash recovery in `lumos-serve` is built on.
+    #[test]
+    fn checkpoint_restore_matches_batch(
+        jobs in arb_jobs(50),
+        config in arb_config(),
+        cut_seed in any::<u64>(),
+    ) {
+        let trace = Trace::new(tiny_system(50), jobs).unwrap();
+        let batch = simulate(&trace, &config);
+        let all: Vec<Job> = trace.jobs().to_vec();
+        let cut = (cut_seed as usize) % (all.len() + 1);
+        let mut session = SimSession::new(&trace.system, config);
+        for j in &all[..cut] {
+            session.submit(j.clone()).map_err(|e| TestCaseError::fail(format!("submit: {e}")))?;
+        }
+        if cut > 0 {
+            session.advance_to(all[cut - 1].submit);
+        }
+        let json = serde_json::to_string(&session.save_state()).unwrap();
+        let state: SessionState = serde_json::from_str(&json).unwrap();
+        let mut session = SimSession::restore(&trace.system, state)
+            .map_err(|e| TestCaseError::fail(format!("restore: {e}")))?;
+        for j in &all[cut..] {
+            session.submit(j.clone()).map_err(|e| TestCaseError::fail(format!("submit: {e}")))?;
+        }
+        let online = session.into_result();
+        prop_assert_eq!(&online.jobs, &batch.jobs);
+        prop_assert_eq!(&online.metrics, &batch.metrics);
+        prop_assert_eq!(&online.timeline, &batch.timeline);
+        prop_assert_eq!(online.max_queue_len, batch.max_queue_len);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! * [`dist`] — inverse-transform / Box–Muller samplers (exponential,
 //!   log-normal, Pareto, Weibull, uniform, discrete, mixtures),
 //! * [`ecdf::Ecdf`] — empirical CDFs with interpolated quantiles,
-//! * [`quantile`] — type-7 quantiles on slices,
+//! * [`mod@quantile`] — type-7 quantiles on slices,
 //! * [`histogram`] — linear and logarithmic histograms,
 //! * [`kde`] — Gaussian kernel density estimates (violin plots, Figs. 1a & 11),
 //! * [`summary::Summary`] — Welford streaming moments,

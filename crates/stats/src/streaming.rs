@@ -5,13 +5,19 @@
 //! piecewise-parabolic interpolation (Jain & Chlamtac, CACM 1985). The
 //! online scheduler uses it to report wait-time percentiles without
 //! buffering every observed wait; exact type-7 quantiles on buffered
-//! slices remain in [`crate::quantile`].
+//! slices remain in [`fn@crate::quantile`].
+//!
+//! Both estimators serialize their full marker state, so a deserialized
+//! estimator continues the stream exactly where the original left off —
+//! the property the serving layer's crash recovery relies on.
+
+use serde::{Deserialize, Serialize};
 
 /// One streamed quantile, estimated with the P² algorithm.
 ///
 /// Exact for the first five observations; afterwards the estimate tracks
 /// the true quantile with error that shrinks as the stream grows.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct P2Quantile {
     p: f64,
     /// Marker heights (estimates of the 0, p/2, p, (1+p)/2, 1 quantiles).
@@ -156,7 +162,7 @@ impl P2Quantile {
 
 /// A fixed bank of streamed quantiles fed from one stream (e.g. the
 /// p50/p90/p99 wait-time percentiles the serving layer reports).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QuantileBank {
     estimators: Vec<P2Quantile>,
 }
@@ -284,5 +290,41 @@ mod tests {
     #[should_panic(expected = "quantile must be in (0, 1)")]
     fn rejects_out_of_range_p() {
         let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn serialized_estimator_continues_the_stream_exactly() {
+        // Split a stream at an arbitrary point; the restored estimator must
+        // report identical estimates for the rest of the stream (f64 JSON
+        // round-trips are exact: shortest-roundtrip formatting).
+        let mut rng = Rng::new(11);
+        let xs: Vec<f64> = (0..5_000).map(|_| rng.next_f64() * 300.0).collect();
+        let mut whole = P2Quantile::new(0.9);
+        let mut first = P2Quantile::new(0.9);
+        for &x in &xs[..1_237] {
+            whole.observe(x);
+            first.observe(x);
+        }
+        let json = serde_json::to_string(&first).unwrap();
+        let mut restored: P2Quantile = serde_json::from_str(&json).unwrap();
+        for &x in &xs[1_237..] {
+            whole.observe(x);
+            restored.observe(x);
+        }
+        assert_eq!(restored.count(), whole.count());
+        assert_eq!(restored.estimate(), whole.estimate());
+    }
+
+    #[test]
+    fn bank_round_trips_through_json() {
+        let mut bank = QuantileBank::new(&[0.5, 0.99]);
+        let mut rng = Rng::new(5);
+        for _ in 0..500 {
+            bank.observe(rng.next_f64());
+        }
+        let json = serde_json::to_string(&bank).unwrap();
+        let restored: QuantileBank = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.count(), bank.count());
+        assert_eq!(restored.estimates(), bank.estimates());
     }
 }

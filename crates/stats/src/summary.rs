@@ -1,10 +1,16 @@
 //! Streaming moments via Welford's algorithm.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Streaming count / mean / variance / min / max accumulator.
 /// Mergeable, so per-shard summaries from rayon workers combine exactly.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Default)]
+///
+/// Serialization caveat: JSON has no `Infinity`, so the `min`/`max`
+/// sentinels of an *empty* summary round-trip through `null` into NaN.
+/// That is behaviorally transparent — `f64::min(NAN, x)` is `x`, and the
+/// accessors gate on `n > 0` — but an empty summary is not `==` to its
+/// round-tripped self. Non-empty summaries round-trip exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct Summary {
     n: u64,
     mean: f64,
@@ -175,5 +181,27 @@ mod tests {
         let s = Summary::of(&[1.0, f64::NAN, 3.0]);
         assert_eq!(s.count(), 2);
         assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_empty_summary_round_trips_exactly() {
+        let s = Summary::of(&[1.5, -2.25, 300.0, 0.125]);
+        let json = serde_json::to_string(&s).unwrap();
+        let r: Summary = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, s);
+    }
+
+    #[test]
+    fn empty_summary_round_trip_is_behaviorally_transparent() {
+        // JSON null → NaN for the infinite sentinels; adding afterwards
+        // still works because f64::min(NAN, x) == x.
+        let json = serde_json::to_string(&Summary::new()).unwrap();
+        let mut r: Summary = serde_json::from_str(&json).unwrap();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.min(), None);
+        r.add(4.0);
+        r.add(2.0);
+        assert_eq!(r.min(), Some(2.0));
+        assert_eq!(r.max(), Some(4.0));
     }
 }

@@ -32,11 +32,15 @@ use lumos_core::{CoreError, Job, JobStatus, Result, SystemSpec, Trace};
 /// `system.total_units` so capacity checks match the archive's metadata.
 ///
 /// # Errors
-/// Returns [`CoreError::Parse`] for malformed lines and the usual
-/// [`Trace::new`] validation errors.
+/// Returns [`CoreError::Parse`] for malformed lines, carrying the 1-based
+/// physical line number and the offending field. Per-job validation
+/// failures from [`Trace::new`] (oversized requests, negative times) are
+/// wrapped into [`CoreError::Parse`] too, pointing at the line that
+/// defined the job.
 pub fn parse(text: &str, system: SystemSpec) -> Result<Trace> {
     let mut system = system;
     let mut jobs = Vec::new();
+    let mut line_of = std::collections::HashMap::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -51,7 +55,9 @@ pub fn parse(text: &str, system: SystemSpec) -> Result<Trace> {
             }
             continue;
         }
-        jobs.push(parse_line(line, lineno + 1, &system)?);
+        let job = parse_line(line, lineno + 1, &system)?;
+        line_of.entry(job.id).or_insert(lineno + 1);
+        jobs.push(job);
     }
     // A header override can make total_units exceed the node count the spec
     // was built with; grow the node count to keep the spec self-consistent.
@@ -62,7 +68,20 @@ pub fn parse(text: &str, system: SystemSpec) -> Result<Trace> {
             .div_ceil(u64::from(system.units_per_node))
             .min(u64::from(u32::MAX)) as u32;
     }
-    Trace::new(system, jobs)
+    Trace::new(system, jobs).map_err(|e| {
+        // Point job-validation failures back at the offending SWF line.
+        let job = match &e {
+            CoreError::OversizedJob { job, .. } | CoreError::InvalidTime { job, .. } => Some(*job),
+            _ => None,
+        };
+        match job.and_then(|id| line_of.get(&id).copied()) {
+            Some(line) => CoreError::Parse {
+                line,
+                message: e.to_string(),
+            },
+            None => e,
+        }
+    })
 }
 
 fn header_value(comment: &str, key: &str) -> Option<u64> {
@@ -74,10 +93,11 @@ fn header_value(comment: &str, key: &str) -> Option<u64> {
 fn parse_line(line: &str, lineno: usize, system: &SystemSpec) -> Result<Job> {
     let fields: Vec<i64> = line
         .split_whitespace()
-        .map(|f| {
+        .enumerate()
+        .map(|(i, f)| {
             f.parse::<i64>().map_err(|_| CoreError::Parse {
                 line: lineno,
-                message: format!("non-integer field `{f}`"),
+                message: format!("field {}: non-integer value `{f}`", i + 1),
             })
         })
         .collect::<Result<_>>()?;
@@ -245,6 +265,33 @@ mod tests {
     fn rejects_garbage_fields() {
         let err = parse("1 0 0 ten 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1", sys()).unwrap_err();
         assert!(matches!(err, CoreError::Parse { .. }));
+    }
+
+    #[test]
+    fn garbage_fields_are_named_by_position() {
+        // `ten` is the 4th whitespace-separated field (SWF run time).
+        let err = parse("1 0 0 ten 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1", sys()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "no line context: {msg}");
+        assert!(msg.contains("field 4"), "no field context: {msg}");
+        assert!(msg.contains("`ten`"), "offending value not shown: {msg}");
+    }
+
+    #[test]
+    fn job_validation_errors_point_at_the_offending_line() {
+        // Line 3's job requests more than the MaxProcs capacity.
+        let text = "; MaxProcs: 100\n\
+                    1 0 0 10 1 -1 -1 1 -1 -1 1 1 -1 -1 -1 -1 -1 -1\n\
+                    2 5 0 10 500 -1 -1 500 -1 -1 1 1 -1 -1 -1 -1 -1 -1\n";
+        let err = parse(text, sys()).unwrap_err();
+        match &err {
+            CoreError::Parse { line, message } => {
+                assert_eq!(*line, 3);
+                assert!(message.contains("job 2"), "job not named: {message}");
+                assert!(message.contains("500"), "request not shown: {message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

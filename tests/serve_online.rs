@@ -57,6 +57,7 @@ fn online_replay_matches_batch_simulate() {
         sim,
         queue_capacity: 64,
         time_scale: 0.0, // virtual time: deterministic, Advance-driven
+        journal: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr");
@@ -144,6 +145,7 @@ fn backpressure_rejects_instead_of_blocking() {
         sim: SimConfig::default(),
         queue_capacity: 1,
         time_scale: 0.0,
+        journal: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr");
@@ -166,6 +168,61 @@ fn backpressure_rejects_instead_of_blocking() {
         answered += 1;
     }
     assert_eq!(answered, 200);
+
+    let reply = roundtrip(&mut writer, &mut reader, r#""Shutdown""#);
+    assert!(reply.get("Bye").is_some(), "unexpected {reply:?}");
+    handle.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn protocol_errors_name_the_line_and_field() {
+    let config = ServeConfig {
+        system: tiny_system(4),
+        sim: SimConfig::default(),
+        queue_capacity: 16,
+        time_scale: 0.0,
+        journal: None,
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run(false));
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+
+    // Line 1: fine. Line 2: blank (counted, no response). Line 3: garbage.
+    let reply = roundtrip(
+        &mut writer,
+        &mut reader,
+        r#"{"Submit":{"job":{"id":1,"procs":1,"runtime":5,"submit":0}}}"#,
+    );
+    assert!(reply.get("Submitted").is_some(), "unexpected {reply:?}");
+    writeln!(writer).expect("blank line");
+    let reply = roundtrip(&mut writer, &mut reader, "{nonsense");
+    let msg = reply
+        .get("Error")
+        .and_then(|e| e.get("message"))
+        .and_then(|m| m.as_str())
+        .expect("error with message")
+        .to_string();
+    assert!(msg.starts_with("line 3:"), "no line context: {msg}");
+
+    // Line 4: a submit missing its required `id` — the error names the
+    // offending field, not just "bad request".
+    let reply = roundtrip(
+        &mut writer,
+        &mut reader,
+        r#"{"Submit":{"job":{"procs":1,"runtime":5}}}"#,
+    );
+    let msg = reply
+        .get("Error")
+        .and_then(|e| e.get("message"))
+        .and_then(|m| m.as_str())
+        .expect("error with message")
+        .to_string();
+    assert!(msg.starts_with("line 4:"), "no line context: {msg}");
+    assert!(msg.contains("id"), "field not named: {msg}");
 
     let reply = roundtrip(&mut writer, &mut reader, r#""Shutdown""#);
     assert!(reply.get("Bye").is_some(), "unexpected {reply:?}");

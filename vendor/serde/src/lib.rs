@@ -71,6 +71,15 @@ impl Value {
         }
     }
 
+    /// Borrow as a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// One-word description of the value's shape, used in error messages.
     #[must_use]
     pub fn kind(&self) -> &'static str {
