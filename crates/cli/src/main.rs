@@ -95,7 +95,7 @@ fn usage() -> String {
     "usage: lumos <table1|fig1|fig2|fig3|fig4|fig6|fig8|fig9|fig11|fig12|table2|takeaways|all> \
      [--seed N] [--days N] [--out DIR] [--swf FILE --system NAME]\n\
      \x20      lumos serve [--addr HOST:PORT] [--system NAME] [--policy P] [--backfill B] \
-     [--queue-cap N] [--time-scale X] \
+     [--queue-cap N] [--time-scale X] [--predictor last2[:MARGIN]|user[:MARGIN]|off] \
      [--journal DIR] [--fsync always|never|interval:MS] [--snapshot-every N]\n\
      \x20      lumos journal inspect DIR [--verbose]\n\
      \x20      lumos --help | --version"
@@ -173,6 +173,10 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
                         "--time-scale must be a finite value ≥ 0".into(),
                     ));
                 }
+            }
+            "--predictor" => {
+                config.predictor = lumos_serve::PredictorConfig::parse(&value("--predictor")?)
+                    .map_err(|e| CliError::Usage(format!("--predictor: {e}")))?;
             }
             "--journal" => journal_dir = Some(PathBuf::from(value("--journal")?)),
             "--fsync" => {
@@ -314,8 +318,17 @@ fn run_journal(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
         if verbose {
             for record in &seg.records {
                 match record {
-                    journal::JournalRecord::Config { system, sim } => {
-                        println!("  config  system={} policy={:?}", system.name, sim.policy);
+                    journal::JournalRecord::Config {
+                        system,
+                        sim,
+                        predictor,
+                    } => {
+                        println!(
+                            "  config  system={} policy={:?} predictor={}",
+                            system.name,
+                            sim.policy,
+                            predictor.map_or("off", |p| p.name())
+                        );
                     }
                     journal::JournalRecord::Submit { now, job } => {
                         println!("  submit  t={now} job={} procs={}", job.id, job.procs);

@@ -44,6 +44,12 @@ pub enum CoreError {
     /// be restored (e.g. mismatched table lengths or overcommitted
     /// partitions).
     InvalidSnapshot(String),
+    /// A job id was resubmitted while an earlier job with the same id is
+    /// still live (pending, waiting, or running).
+    DuplicateJob {
+        /// The reused job id.
+        job: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -67,6 +73,12 @@ impl fmt::Display for CoreError {
             Self::InvalidSystem(msg) => write!(f, "invalid system spec: {msg}"),
             Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             Self::InvalidSnapshot(msg) => write!(f, "invalid session snapshot: {msg}"),
+            Self::DuplicateJob { job } => {
+                write!(
+                    f,
+                    "duplicate job id {job}: an earlier submission is still live"
+                )
+            }
         }
     }
 }

@@ -17,6 +17,12 @@
 //!   XGBoost stand-in),
 //! * [`models::Mlp`] — a small feed-forward network.
 //!
+//! For serving, [`online`] provides *streaming* predictors
+//! ([`OnlinePredictor`]): the Last2 model in incremental form plus a
+//! pass-through "user" provider, with serializable state so `lumos-serve`
+//! can checkpoint them and rebuild them deterministically during crash
+//! recovery. The batch walltime providers in [`walltime`] delegate to them.
+//!
 //! The evaluation harness ([`eval`]) reproduces Fig. 12: every model is
 //! scored with and without the elapsed-time feature at elapsed points of
 //! 1/8, 1/4, and 1/2 of the system's mean runtime, on *Prediction Accuracy*
@@ -31,8 +37,10 @@ pub mod eval;
 pub mod linalg;
 pub mod metrics;
 pub mod models;
+pub mod online;
 pub mod walltime;
 
 pub use dataset::{Dataset, Instance};
 pub use eval::{evaluate_trace, Fig12Row, ModelKind, Variant};
 pub use metrics::{accuracy, underestimate_rate, PredictionScore};
+pub use online::{Last2Online, OnlinePredictor, Predictor, PredictorConfig, UserOnline};

@@ -7,44 +7,34 @@
 //! Underestimated walltimes are the dangerous direction (Tsafrir et al.;
 //! paper §VI.A), so every provider takes a multiplicative safety `margin`.
 
-use std::collections::HashMap;
+use lumos_core::{Duration, Trace};
 
-use lumos_core::{Duration, Trace, UserId};
+use crate::online::{Last2Online, OnlinePredictor, UserOnline};
 
 /// Per-job walltime estimates from the Last2 predictor: the mean of the
 /// user's last two observed runtimes × `margin`, falling back to the
 /// running global mean for first-time users. Returns one estimate per job,
 /// submit-ordered like `trace.jobs()`.
 ///
+/// Delegates to the streaming [`Last2Online`] predictor — this is, by
+/// construction, exactly what a predictor-enabled server computes when the
+/// same jobs arrive one at a time.
+///
 /// # Panics
 /// Panics if `margin <= 0`.
 #[must_use]
 pub fn last2_walltimes(trace: &Trace, margin: f64) -> Vec<Duration> {
-    assert!(margin > 0.0, "safety margin must be positive");
-    let mut history: HashMap<UserId, (f64, Option<f64>)> = HashMap::new(); // (last, prev)
-    let mut global_sum = 0.0f64;
-    let mut out = Vec::with_capacity(trace.len());
-    // `seen` = jobs already absorbed into the running global mean.
-    for (seen, j) in trace.jobs().iter().enumerate() {
-        let base = match history.get(&j.user) {
-            Some(&(last, Some(prev))) => 0.5 * (last + prev),
-            Some(&(last, None)) => last,
-            None if seen > 0 => global_sum / seen as f64,
-            None => 3_600.0, // cold start: an hour, the classic default
-        };
-        out.push(((base * margin) as Duration).max(60));
-        // Update the histories only after predicting (strictly online).
-        let runtime = j.runtime.max(1) as f64;
-        history
-            .entry(j.user)
-            .and_modify(|(last, prev)| {
-                *prev = Some(*last);
-                *last = runtime;
-            })
-            .or_insert((runtime, None));
-        global_sum += runtime;
-    }
-    out
+    let mut model = Last2Online::new(margin);
+    trace
+        .jobs()
+        .iter()
+        .map(|j| {
+            let estimate = model.predict(j.user, None);
+            // Update the history only after predicting (strictly online).
+            model.observe(j.user, j.runtime);
+            estimate
+        })
+        .collect()
 }
 
 /// Oracle walltimes: the actual runtimes (+1 s so estimates are never
@@ -57,14 +47,18 @@ pub fn perfect_walltimes(trace: &Trace) -> Vec<Duration> {
 
 /// The user-supplied walltimes (the baseline the paper's Fig. 12 models
 /// compete against); jobs without one fall back to the Last2 estimate.
+/// Delegates to the streaming [`UserOnline`] provider.
 #[must_use]
 pub fn user_walltimes(trace: &Trace, margin: f64) -> Vec<Duration> {
-    let fallback = last2_walltimes(trace, margin);
+    let mut model = UserOnline::new(margin);
     trace
         .jobs()
         .iter()
-        .zip(fallback)
-        .map(|(j, fb)| j.walltime.unwrap_or(fb))
+        .map(|j| {
+            let estimate = model.predict(j.user, j.walltime);
+            model.observe(j.user, j.runtime);
+            estimate
+        })
         .collect()
 }
 

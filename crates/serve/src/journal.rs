@@ -43,6 +43,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use lumos_core::{SystemSpec, Timestamp};
+use lumos_predict::PredictorConfig;
 use lumos_sim::SimConfig;
 use serde::{Deserialize, Serialize};
 
@@ -129,9 +130,16 @@ impl JournalConfig {
 /// reset on recovery).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum JournalRecord {
-    /// Segment header: the configuration the session runs under.
+    /// Segment header: the configuration the session runs under. The
+    /// `predictor` field records the walltime-predictor mode (absent both
+    /// for predictor-off servers and in pre-predictor journals, which
+    /// deserialize with `None`).
     #[allow(missing_docs)]
-    Config { system: SystemSpec, sim: SimConfig },
+    Config {
+        system: SystemSpec,
+        sim: SimConfig,
+        predictor: Option<PredictorConfig>,
+    },
     /// An accepted submission, with `job.submit` resolved (never `None`).
     #[allow(missing_docs)]
     Submit { now: Timestamp, job: SubmitSpec },

@@ -19,6 +19,12 @@
 //! state ([`recovery`]) — the determinism of the simulation core makes
 //! replayed state and metrics byte-identical to an uninterrupted run.
 //!
+//! With [`ServeConfig::predictor`] set, the scheduler plans with a
+//! streaming walltime predictor ([`lumos_predict::Predictor`]) instead of
+//! the clients' requested walltimes; predictor state is checkpointed in
+//! rotation snapshots and reconstructed by journal replay, so the
+//! durability guarantee covers prediction too.
+//!
 //! ```no_run
 //! use lumos_core::SystemSpec;
 //! use lumos_serve::{ServeConfig, Server};
@@ -38,7 +44,8 @@ pub mod recovery;
 pub mod server;
 
 pub use journal::{FsyncPolicy, Journal, JournalConfig, JournalRecord};
+pub use lumos_predict::{Predictor, PredictorConfig};
 pub use metrics::{LiveMetrics, WAIT_PERCENTILES};
-pub use protocol::{Request, Response, ServeStats, SubmitSpec};
+pub use protocol::{PredictionStats, Request, Response, ServeStats, SubmitSpec};
 pub use recovery::{recover, Recovered, ServerSnapshot};
 pub use server::{ServeConfig, Server};

@@ -23,7 +23,7 @@ use lumos_sim::{SimEvent, SimSession};
 use lumos_stats::{QuantileBank, Summary};
 use serde::{Deserialize, Serialize};
 
-use crate::protocol::ServeStats;
+use crate::protocol::{PredictionStats, ServeStats};
 
 /// The percentiles `stats` reports.
 pub const WAIT_PERCENTILES: [f64; 3] = [0.5, 0.9, 0.99];
@@ -41,6 +41,12 @@ pub struct LiveMetrics {
     wait_summary: Summary,
     bsld_summary: Summary,
     rejected: u64,
+    /// Completed jobs scored against their planned walltime.
+    pred_scored: u64,
+    /// Of those, jobs whose planned walltime undershot the true runtime.
+    pred_under: u64,
+    /// Absolute error |planned walltime − runtime| over scored jobs.
+    pred_abs_err: Summary,
 }
 
 impl LiveMetrics {
@@ -53,6 +59,9 @@ impl LiveMetrics {
             wait_summary: Summary::new(),
             bsld_summary: Summary::new(),
             rejected: 0,
+            pred_scored: 0,
+            pred_under: 0,
+            pred_abs_err: Summary::new(),
         }
     }
 
@@ -65,30 +74,62 @@ impl LiveMetrics {
     /// slowdown computation.
     pub fn absorb(&mut self, events: &[SimEvent], session: &SimSession) {
         for event in events {
-            if let SimEvent::Started { id, wait, .. } = event {
-                self.wait_quantiles.observe(*wait as f64);
-                self.wait_summary.add(*wait as f64);
-                if let Some(bsld) = session
-                    .job(*id)
-                    .and_then(|j| j.bounded_slowdown(self.bsld_bound))
-                {
-                    self.bsld_summary.add(bsld);
+            match event {
+                SimEvent::Started { id, wait, .. } => {
+                    self.wait_quantiles.observe(*wait as f64);
+                    self.wait_summary.add(*wait as f64);
+                    if let Some(bsld) = session
+                        .job(*id)
+                        .and_then(|j| j.bounded_slowdown(self.bsld_bound))
+                    {
+                        self.bsld_summary.add(bsld);
+                    }
                 }
+                SimEvent::Finished { id, .. } => {
+                    // Score the walltime the scheduler actually planned
+                    // with against the observed runtime — with a predictor
+                    // enabled this is live prediction accuracy.
+                    if let (Some(job), Some(plan)) = (session.job(*id), session.plan_walltime(*id))
+                    {
+                        self.pred_scored += 1;
+                        if plan < job.runtime {
+                            self.pred_under += 1;
+                        }
+                        self.pred_abs_err.add((plan - job.runtime).abs() as f64);
+                    }
+                }
+                _ => {}
             }
         }
     }
 
     /// The `stats` payload for the current session state.
     /// `extra_rejected` counts rejections recorded outside the scheduler
-    /// loop (connection-side backpressure).
+    /// loop (connection-side backpressure); `predictor` is the active
+    /// walltime predictor's display name, if one is enabled.
     #[must_use]
-    pub fn report(&self, session: &SimSession, extra_rejected: u64) -> ServeStats {
+    pub fn report(
+        &self,
+        session: &SimSession,
+        extra_rejected: u64,
+        predictor: Option<&str>,
+    ) -> ServeStats {
         ServeStats {
             snapshot: session.snapshot(),
             wait_quantiles: self.wait_quantiles.estimates(),
             mean_wait: self.wait_summary.mean(),
             mean_bsld: self.bsld_summary.mean(),
             rejected: self.rejected + extra_rejected,
+            predictor: predictor.map(str::to_owned),
+            prediction: PredictionStats {
+                jobs: self.pred_scored,
+                underestimate_rate: if self.pred_scored == 0 {
+                    0.0
+                } else {
+                    self.pred_under as f64 / self.pred_scored as f64
+                },
+                mean_abs_error: self.pred_abs_err.mean(),
+            },
         }
     }
 }
@@ -114,7 +155,7 @@ mod tests {
         let events = session.drain_events();
         metrics.absorb(&events, &session);
 
-        let stats = metrics.report(&session, 0);
+        let stats = metrics.report(&session, 0, None);
         assert_eq!(stats.snapshot.finished, 2);
         // Job 1 waits 0, job 2 waits 50.
         assert!((stats.mean_wait - 25.0).abs() < 1e-9);
@@ -148,7 +189,7 @@ mod tests {
     fn assert_quantiles_close(waits: &[f64], bound: f64) {
         let metrics = absorb_waits(waits);
         let session = SimSession::new(&SystemSpec::theta(), SimConfig::default());
-        let stats = metrics.report(&session, 0);
+        let stats = metrics.report(&session, 0, None);
         for &(p, est) in &stats.wait_quantiles {
             let est = est.expect("stream is non-empty");
             let exact = lumos_stats::quantile(waits, p);
@@ -213,8 +254,8 @@ mod tests {
         let json = serde_json::to_string(&metrics).unwrap();
         let restored: LiveMetrics = serde_json::from_str(&json).unwrap();
         let session = SimSession::new(&SystemSpec::theta(), SimConfig::default());
-        let a = metrics.report(&session, 0);
-        let b = restored.report(&session, 0);
+        let a = metrics.report(&session, 0, None);
+        let b = restored.report(&session, 0, None);
         assert_eq!(a, b, "restored metrics report identically");
     }
 }

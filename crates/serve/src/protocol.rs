@@ -65,6 +65,20 @@ pub enum Request {
     Shutdown,
 }
 
+/// Live walltime-prediction accuracy over completed jobs: every finished
+/// job is scored against the walltime the scheduler planned with (the
+/// predictor's estimate when one is enabled, the client's otherwise).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PredictionStats {
+    /// Completed jobs scored so far.
+    pub jobs: u64,
+    /// Fraction of scored jobs whose planned walltime was below the true
+    /// runtime (the dangerous direction; paper §VI.A).
+    pub underestimate_rate: f64,
+    /// Mean `|planned walltime − true runtime|` in seconds.
+    pub mean_abs_error: f64,
+}
+
 /// Live metrics reported by `stats`.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ServeStats {
@@ -79,6 +93,10 @@ pub struct ServeStats {
     pub mean_bsld: f64,
     /// Jobs whose submission was rejected (validation or backpressure).
     pub rejected: u64,
+    /// Active walltime predictor (`"last2"` / `"user"`); `null` when off.
+    pub predictor: Option<String>,
+    /// Planned-walltime accuracy over completed jobs.
+    pub prediction: PredictionStats,
 }
 
 /// A server response.

@@ -19,6 +19,7 @@ use std::io;
 use std::path::Path;
 
 use lumos_core::SystemSpec;
+use lumos_predict::{OnlinePredictor, Predictor};
 use lumos_sim::SimSession;
 use serde::{Deserialize, Serialize};
 
@@ -27,7 +28,10 @@ use crate::metrics::LiveMetrics;
 use crate::server::{job_from_spec, ServeConfig};
 
 /// What a rotation snapshot file (`snapshot-NNNNNN.json`) contains: the
-/// machine, the full session state, and the metrics accumulated so far.
+/// machine, the full session state, the metrics accumulated so far, and
+/// the walltime predictor's streaming state (absent when no predictor is
+/// enabled — and in pre-predictor snapshots, which deserialize with
+/// `None`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServerSnapshot {
     /// The machine being scheduled (partition geometry derives from it).
@@ -36,15 +40,23 @@ pub struct ServerSnapshot {
     pub state: lumos_sim::SessionState,
     /// Streaming metrics at the moment of the snapshot.
     pub metrics: LiveMetrics,
+    /// Walltime predictor state at the moment of the snapshot.
+    pub predictor: Option<Predictor>,
 }
 
 /// Serializes a rotation snapshot.
 #[must_use]
-pub fn snapshot_json(system: &SystemSpec, session: &SimSession, metrics: &LiveMetrics) -> String {
+pub fn snapshot_json(
+    system: &SystemSpec,
+    session: &SimSession,
+    metrics: &LiveMetrics,
+    predictor: Option<&Predictor>,
+) -> String {
     serde_json::to_string(&ServerSnapshot {
         system: system.clone(),
         state: session.save_state(),
         metrics: metrics.clone(),
+        predictor: predictor.cloned(),
     })
     .expect("snapshots serialize")
 }
@@ -56,6 +68,9 @@ pub struct Recovered {
     pub session: SimSession,
     /// Metrics, byte-identical to the crashed server's.
     pub metrics: LiveMetrics,
+    /// Walltime predictor, reconstructed to the crashed server's exact
+    /// streaming state (snapshot + deterministic journal replay).
+    pub predictor: Option<Predictor>,
     /// The system the recovered server schedules (the journal's view wins
     /// over the CLI's on mismatch).
     pub system: SystemSpec,
@@ -89,18 +104,20 @@ pub fn recover(serve: &ServeConfig, jc: &JournalConfig) -> io::Result<Recovered>
         }
     }
     let mut virgin = base.is_none();
-    let (start_seq, (mut system, mut session, mut metrics)) = base.unwrap_or_else(|| {
-        let mut s = SimSession::new(&serve.system, serve.sim);
-        s.advance_to(0);
-        (
-            0,
+    let (start_seq, (mut system, mut session, mut metrics, mut predictor)) =
+        base.unwrap_or_else(|| {
+            let mut s = SimSession::new(&serve.system, serve.sim);
+            s.advance_to(0);
             (
-                serve.system.clone(),
-                s,
-                LiveMetrics::new(serve.sim.bsld_bound),
-            ),
-        )
-    });
+                0,
+                (
+                    serve.system.clone(),
+                    s,
+                    LiveMetrics::new(serve.sim.bsld_bound),
+                    serve.predictor.map(Predictor::new),
+                ),
+            )
+        });
     if system != serve.system {
         warnings.push(
             "journaled system differs from the configured one; continuing the journaled system"
@@ -155,6 +172,7 @@ pub fn recover(serve: &ServeConfig, jc: &JournalConfig) -> io::Result<Recovered>
                 &mut system,
                 &mut session,
                 &mut metrics,
+                &mut predictor,
                 serve,
                 &mut virgin,
                 &mut warnings,
@@ -183,12 +201,14 @@ pub fn recover(serve: &ServeConfig, jc: &JournalConfig) -> io::Result<Recovered>
         journal.append(&JournalRecord::Config {
             system: system.clone(),
             sim: *session.config(),
+            predictor: predictor.as_ref().map(Predictor::config),
         })?;
     }
 
     Ok(Recovered {
         session,
         metrics,
+        predictor,
         system,
         journal,
         warnings,
@@ -202,7 +222,7 @@ fn load_snapshot(
     dir: &Path,
     seq: u64,
     warnings: &mut Vec<String>,
-) -> Option<(SystemSpec, SimSession, LiveMetrics)> {
+) -> Option<(SystemSpec, SimSession, LiveMetrics, Option<Predictor>)> {
     let path = journal::snapshot_path(dir, seq);
     let mut fail = |what: String| {
         warnings.push(format!(
@@ -219,7 +239,7 @@ fn load_snapshot(
         Err(e) => return fail(format!("corrupt: {e}")),
     };
     match SimSession::restore(&snap.system, snap.state) {
-        Ok(session) => Some((snap.system, session, snap.metrics)),
+        Ok(session) => Some((snap.system, session, snap.metrics, snap.predictor)),
         Err(e) => fail(format!("inconsistent: {e}")),
     }
 }
@@ -227,23 +247,31 @@ fn load_snapshot(
 /// Applies one journal record; returns 1 for a replayed mutation, 0 for a
 /// header. Inconsistencies are warned about and skipped — a damaged
 /// journal degrades recovery, it never aborts it.
+#[allow(clippy::too_many_arguments)]
 fn apply(
     record: JournalRecord,
     system: &mut SystemSpec,
     session: &mut SimSession,
     metrics: &mut LiveMetrics,
+    predictor: &mut Option<Predictor>,
     serve: &ServeConfig,
     virgin: &mut bool,
     warnings: &mut Vec<String>,
 ) -> u64 {
     match record {
-        JournalRecord::Config { system: js, sim } => {
-            let differs = js != *system || sim != *session.config();
+        JournalRecord::Config {
+            system: js,
+            sim,
+            predictor: jp,
+        } => {
+            let differs = js != *system
+                || sim != *session.config()
+                || jp != predictor.as_ref().map(Predictor::config);
             if differs && *virgin {
                 // The journal was written under a different configuration
                 // than the CLI provided this time. Continuity wins: adopt
                 // the journaled configuration before replaying.
-                if js != serve.system || sim != serve.sim {
+                if js != serve.system || sim != serve.sim || jp != serve.predictor {
                     warnings.push(
                         "journal header differs from the configured system/policy; \
                          continuing the journaled configuration"
@@ -254,6 +282,7 @@ fn apply(
                 s.advance_to(0);
                 *session = s;
                 *metrics = LiveMetrics::new(sim.bsld_bound);
+                *predictor = jp.map(Predictor::new);
                 *system = js;
             } else if differs {
                 warnings.push(
@@ -267,8 +296,21 @@ fn apply(
             session.advance_to(now);
             let spec_id = job.id;
             let built = job_from_spec(&job, session.now().max(0));
-            match session.submit(built) {
-                Ok(()) => session.advance_to(session.now()),
+            // Mirror the live submit path exactly: predict before the
+            // submission, observe only when it is accepted — rejected
+            // submissions were never journaled, so they never touched the
+            // live predictor either.
+            let estimate = predictor
+                .as_ref()
+                .map(|p| p.predict(built.user, built.walltime));
+            let (user, runtime) = (built.user, built.runtime);
+            match session.submit_with_walltime(built, estimate) {
+                Ok(()) => {
+                    if let Some(p) = predictor.as_mut() {
+                        p.observe(user, runtime);
+                    }
+                    session.advance_to(session.now());
+                }
                 Err(e) => warnings.push(format!(
                     "replay: journaled submission of job {spec_id} no longer applies ({e}); skipped"
                 )),

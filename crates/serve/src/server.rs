@@ -34,6 +34,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use lumos_core::{Job, JobStatus, SystemSpec, Timestamp};
+use lumos_predict::{OnlinePredictor, Predictor, PredictorConfig};
 use lumos_sim::{SimConfig, SimSession};
 
 use crate::journal::{JournalConfig, JournalRecord};
@@ -55,10 +56,14 @@ pub struct ServeConfig {
     pub time_scale: f64,
     /// Write-ahead journaling; `None` runs without durability.
     pub journal: Option<JournalConfig>,
+    /// Online walltime predictor; `None` schedules with client-requested
+    /// walltimes only.
+    pub predictor: Option<PredictorConfig>,
 }
 
 impl ServeConfig {
-    /// Defaults: virtual time, queue of 1024 commands, no journal.
+    /// Defaults: virtual time, queue of 1024 commands, no journal, no
+    /// predictor.
     #[must_use]
     pub fn new(system: SystemSpec) -> Self {
         Self {
@@ -67,6 +72,7 @@ impl ServeConfig {
             queue_capacity: 1024,
             time_scale: 0.0,
             journal: None,
+            predictor: None,
         }
     }
 }
@@ -223,8 +229,8 @@ fn scheduler_loop(
     shared: &Shared,
     recovered: Option<Recovered>,
 ) {
-    let (system, mut session, mut metrics, mut journal) = match recovered {
-        Some(r) => (r.system, r.session, r.metrics, Some(r.journal)),
+    let (system, mut session, mut metrics, mut predictor, mut journal) = match recovered {
+        Some(r) => (r.system, r.session, r.metrics, r.predictor, Some(r.journal)),
         None => {
             let mut session = SimSession::new(&config.system, config.sim);
             // Sessions start at t = 0, not at the dawn of representable time.
@@ -233,19 +239,32 @@ fn scheduler_loop(
                 config.system.clone(),
                 session,
                 LiveMetrics::new(config.sim.bsld_bound),
+                config.predictor.map(Predictor::new),
                 None,
             )
         }
     };
+    // Map wall-clock time onto simulation time *from where the session
+    // already is*: a recovered session resumes at its pre-crash clock
+    // instead of stalling until wall time catches up with it from zero.
+    let sim_epoch = session.now().max(0);
     let epoch = Instant::now();
 
     while let Ok(Envelope { req, reply }) = rx.recv() {
         if config.time_scale > 0.0 {
-            let sim_now = (epoch.elapsed().as_secs_f64() * config.time_scale).floor() as Timestamp;
+            let sim_now = sim_epoch
+                + (epoch.elapsed().as_secs_f64() * config.time_scale).floor() as Timestamp;
             session.advance_to(sim_now);
         }
         let shutdown = matches!(req, Request::Shutdown);
-        let (response, record) = handle(req, &mut session, &mut metrics, config, shared);
+        let (response, record) = handle(
+            req,
+            &mut session,
+            &mut metrics,
+            &mut predictor,
+            config,
+            shared,
+        );
         // Write-ahead: a mutation is durable before it is acknowledged.
         if let (Some(journal), Some(record)) = (journal.as_mut(), record.as_ref()) {
             if let Err(e) = journal.append(record) {
@@ -270,10 +289,12 @@ fn scheduler_loop(
         if !shutdown {
             if let Some(journal) = journal.as_mut() {
                 if record.is_some() && journal.wants_rotation() {
-                    let snap = recovery::snapshot_json(&system, &session, &metrics);
+                    let snap =
+                        recovery::snapshot_json(&system, &session, &metrics, predictor.as_ref());
                     let header = JournalRecord::Config {
                         system: system.clone(),
                         sim: *session.config(),
+                        predictor: predictor.as_ref().map(Predictor::config),
                     };
                     if let Err(e) = journal.rotate(&snap, &header) {
                         // Not fatal: the old segment is intact, recovery
@@ -327,11 +348,12 @@ fn handle(
     req: Request,
     session: &mut SimSession,
     metrics: &mut LiveMetrics,
+    predictor: &mut Option<Predictor>,
     config: &ServeConfig,
     shared: &Shared,
 ) -> (Response, Option<JournalRecord>) {
     match req {
-        Request::Submit { job } => submit(job, session, metrics),
+        Request::Submit { job } => submit(job, session, metrics, predictor),
         Request::Cancel { id } => {
             let ok = session.cancel(id);
             (
@@ -375,7 +397,11 @@ fn handle(
         }
         Request::Stats => (
             Response::Stats {
-                stats: metrics.report(session, shared.backpressure_rejects.load(Ordering::Relaxed)),
+                stats: metrics.report(
+                    session,
+                    shared.backpressure_rejects.load(Ordering::Relaxed),
+                    predictor.as_ref().map(OnlinePredictor::name),
+                ),
             },
             None,
         ),
@@ -410,7 +436,11 @@ fn submit(
     spec: SubmitSpec,
     session: &mut SimSession,
     metrics: &mut LiveMetrics,
+    predictor: &mut Option<Predictor>,
 ) -> (Response, Option<JournalRecord>) {
+    // The service rejects *any* reuse of a known id — stricter than the
+    // session, which frees finished/cancelled ids — because queries and
+    // cancels address jobs by id for the whole server lifetime.
     if session.query(spec.id).is_some() {
         metrics.record_rejection();
         return (
@@ -425,8 +455,18 @@ fn submit(
     let now = session.now();
     let job = job_from_spec(&spec, now.max(0));
     let resolved_submit = job.submit;
-    match session.submit(job) {
+    // Predict before submitting, observe only on acceptance: rejected
+    // submissions are never journaled, so touching the predictor here
+    // would diverge from journal replay.
+    let estimate = predictor
+        .as_ref()
+        .map(|p| p.predict(job.user, job.walltime));
+    let (user, runtime) = (job.user, job.runtime);
+    match session.submit_with_walltime(job, estimate) {
         Ok(()) => {
+            if let Some(p) = predictor.as_mut() {
+                p.observe(user, runtime);
+            }
             // Process an arrival scheduled at or before the current
             // instant immediately, so the reply reflects its real state.
             session.advance_to(session.now());

@@ -41,6 +41,7 @@ fn fixture_records(system: &SystemSpec, sim: SimConfig) -> Vec<JournalRecord> {
     let mut records = vec![JournalRecord::Config {
         system: system.clone(),
         sim,
+        predictor: None,
     }];
     for i in 0..20u64 {
         let t = i as i64 * 13;
@@ -197,10 +198,11 @@ fn rotation_bounds_replay_to_snapshot_plus_tail() {
         let events = session.drain_events();
         metrics.absorb(&events, &session);
         if !matches!(record, JournalRecord::Config { .. }) && journal.wants_rotation() {
-            let snap = lumos_serve::recovery::snapshot_json(&system, &session, &metrics);
+            let snap = lumos_serve::recovery::snapshot_json(&system, &session, &metrics, None);
             let header = JournalRecord::Config {
                 system: system.clone(),
                 sim,
+                predictor: None,
             };
             journal.rotate(&snap, &header).expect("rotate");
         }

@@ -8,10 +8,15 @@
 //! * [`Backfill::Conservative`] — every queued job gets a reservation;
 //!   jobs start whenever their planned slot arrives.
 //!
-//! [`Relax`] loosens the EASY reservation (paper §VI.B): a backfill
-//! candidate may delay the head's start by up to `factor × expected_wait`.
-//! `Fixed` uses a constant factor (Ward et al.'s relaxed backfilling);
-//! `Adaptive` scales the factor by current queue pressure
+//! [`Relax`] loosens the EASY reservation (paper §VI.B): backfill
+//! candidates may delay the head's start by up to `factor × expected_wait`
+//! *in total*, where the expected wait is anchored at the head's original
+//! promise (the shadow time first computed when it became head). Anchoring
+//! matters: re-deriving the allowance from the recomputed shadow after each
+//! relaxed backfill would compound — every round would relax an
+//! already-delayed reservation and cumulative head delay would be
+//! unbounded. `Fixed` uses a constant factor (Ward et al.'s relaxed
+//! backfilling); `Adaptive` scales the factor by current queue pressure
 //! (`base × queue_len / max_queue_len`, the paper's Eq. 1).
 
 use serde::{Deserialize, Serialize};
@@ -76,9 +81,9 @@ impl Relax {
     /// Extra delay (seconds) a backfill candidate may impose on the head's
     /// reservation.
     ///
-    /// * `expected_wait` — the head's current expected wait
-    ///   (`shadow_time − submit`), the quantity the relaxation threshold is
-    ///   a fraction of;
+    /// * `expected_wait` — the head's promised wait
+    ///   (`promised start − submit`), the quantity the relaxation threshold
+    ///   is a fraction of;
     /// * `queue_len` / `max_queue_len` — current and running-maximum queue
     ///   lengths (the adaptive signal).
     #[must_use]

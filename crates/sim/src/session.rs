@@ -177,6 +177,11 @@ pub struct SimSession {
     /// Event log since the last `drain_events` (off for batch replay,
     /// where nobody drains and the log would only cost memory).
     pub(crate) record_events: bool,
+    /// Accept resubmission of a live job id (first submission keeps
+    /// ownership of `query`/`cancel`). Only batch replay opts in, to keep
+    /// historical traces with colliding ids replayable; the incremental
+    /// API rejects live duplicates.
+    pub(crate) allow_duplicate_ids: bool,
     events: Vec<SimEvent>,
     finished_count: usize,
     cancelled_count: usize,
@@ -208,6 +213,7 @@ impl SimSession {
             clock: Timestamp::MIN,
             dirty: Vec::new(),
             record_events: true,
+            allow_duplicate_ids: false,
             events: Vec::new(),
             finished_count: 0,
             cancelled_count: 0,
@@ -240,9 +246,26 @@ impl SimSession {
     /// user-supplied one (the runtime-predictor hook; floored at 1 s). The
     /// job still runs its true runtime — only the scheduler's plan changes.
     ///
+    /// An id may be reused once its previous holder has finished or been
+    /// cancelled; `query`/`cancel`/`job` keep resolving to the *first*
+    /// submission of that id.
+    ///
     /// # Errors
-    /// Same contract as [`SimSession::submit`].
+    /// Same contract as [`SimSession::submit`], plus
+    /// [`CoreError::DuplicateJob`] when an earlier job with the same id is
+    /// still live (pending, waiting, or running) — a duplicate would run
+    /// but be unaddressable through `query`/`cancel`.
     pub fn submit_with_walltime(&mut self, mut job: Job, walltime: Option<Duration>) -> Result<()> {
+        if !self.allow_duplicate_ids {
+            if let Some(&prev) = self.by_id.get(&job.id) {
+                if matches!(
+                    self.state[prev],
+                    JobState::Pending | JobState::Waiting | JobState::Running
+                ) {
+                    return Err(CoreError::DuplicateJob { job: job.id });
+                }
+            }
+        }
         if job.submit < self.clock {
             return Err(CoreError::InvalidTime {
                 job: job.id,
@@ -345,6 +368,15 @@ impl SimSession {
     #[must_use]
     pub fn job(&self, id: u64) -> Option<&Job> {
         self.by_id.get(&id).map(|&idx| &self.jobs[idx])
+    }
+
+    /// The walltime the scheduler plans with for job `id`: the estimate
+    /// supplied at submission (predictor or operator override) when there
+    /// was one, otherwise the job's own planning walltime. `None` for
+    /// unknown ids.
+    #[must_use]
+    pub fn plan_walltime(&self, id: u64) -> Option<Duration> {
+        self.by_id.get(&id).map(|&idx| self.plan_wall[idx])
     }
 
     /// Time of the next arrival or completion, if any work remains.
@@ -748,12 +780,22 @@ impl SimSession {
                 let extra = profile.free_at(shadow).saturating_sub(self.procs_eff[head]);
                 (head, shadow, extra)
             };
-            if self.promised[head].is_none() {
-                self.promised[head] = Some(shadow);
-            }
+            // The allowance is measured against the head's *original*
+            // promise, not the recomputed shadow: a relaxed backfill pushes
+            // the shadow later, and re-deriving the allowance from that
+            // delayed shadow would let every subsequent round relax further
+            // — unbounded cumulative delay instead of Eq. 1's
+            // `factor × expected wait` budget.
+            let promise = match self.promised[head] {
+                Some(p) => p,
+                None => {
+                    self.promised[head] = Some(shadow);
+                    shadow
+                }
+            };
             let qlen = self.cluster.partition(part).waiting.len();
             let allowance = self.config.relax.allowance(
-                shadow - self.jobs[head].submit,
+                promise - self.jobs[head].submit,
                 qlen,
                 self.max_queue[part],
             );
@@ -773,7 +815,10 @@ impl SimSession {
                     let end = now + self.plan_wall[cand];
                     let harmless = end <= shadow;
                     let in_extra = procs <= extra_remaining;
-                    let in_allowance = end <= shadow + allowance;
+                    // Gated on a positive allowance so a zero-allowance
+                    // relaxation degenerates to strict EASY even when early
+                    // completions pulled the shadow before the promise.
+                    let in_allowance = allowance > 0 && end <= promise + allowance;
                     if harmless || in_extra || in_allowance {
                         if !harmless && in_extra {
                             extra_remaining -= procs;
@@ -1143,5 +1188,47 @@ mod tests {
         assert_eq!(s.now(), 100);
         s.advance_to(50); // no-op
         assert_eq!(s.now(), 100);
+    }
+
+    #[test]
+    fn live_duplicate_ids_are_rejected() {
+        let mut s = SimSession::new(&tiny(), SimConfig::default());
+        s.submit(job(1, 10, 50, 100, 50)).unwrap();
+        // Pending duplicate.
+        assert!(matches!(
+            s.submit(job(1, 10, 10, 1, 10)).unwrap_err(),
+            CoreError::DuplicateJob { job: 1 }
+        ));
+        s.advance_to(10);
+        assert_eq!(s.query(1), Some(JobState::Running));
+        // Running duplicate.
+        assert!(matches!(
+            s.submit(job(1, 20, 10, 1, 10)).unwrap_err(),
+            CoreError::DuplicateJob { job: 1 }
+        ));
+        s.submit(job(2, 20, 10, 100, 10)).unwrap();
+        s.advance_to(20);
+        assert_eq!(s.query(2), Some(JobState::Waiting));
+        // Waiting duplicate.
+        assert!(matches!(
+            s.submit(job(2, 25, 10, 1, 10)).unwrap_err(),
+            CoreError::DuplicateJob { job: 2 }
+        ));
+        // The rejected submissions left no trace behind.
+        assert_eq!(s.snapshot().submitted, 2);
+    }
+
+    #[test]
+    fn finished_ids_may_be_reused_but_first_wins() {
+        let mut s = SimSession::new(&tiny(), SimConfig::default());
+        s.submit(job(1, 0, 10, 1, 10)).unwrap();
+        s.advance_to(50);
+        assert_eq!(s.query(1), Some(JobState::Finished));
+        // Reuse after completion is accepted; `query` keeps resolving to
+        // the first submission.
+        s.submit(job(1, 60, 10, 1, 10)).unwrap();
+        assert_eq!(s.query(1), Some(JobState::Finished));
+        s.advance_to(100);
+        assert_eq!(s.snapshot().finished, 2, "the reused id still ran");
     }
 }

@@ -94,6 +94,11 @@ fn replay(trace: &Trace, config: &SimConfig, walltimes: Option<&[Duration]>) -> 
     let mut session = SimSession::new(&trace.system, *config);
     // Batch replays never drain the event log; don't accumulate one.
     session.record_events = false;
+    // Historical traces are not guaranteed to have unique job ids (SWF
+    // files occasionally reuse them). Batch replay keeps the legacy
+    // first-wins rule — every job runs, id lookups resolve to the first
+    // submission — while the incremental API rejects live duplicates.
+    session.allow_duplicate_ids = true;
     for (i, job) in trace.jobs().iter().enumerate() {
         let wall = walltimes.map(|w| w[i]);
         session
@@ -261,6 +266,59 @@ mod tests {
         assert_eq!(wait_of(&relaxed, 2), 151);
         assert_eq!(relaxed.metrics.violated_jobs, 1);
         assert!((relaxed.metrics.violation - 52.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relaxed_allowance_is_anchored_to_the_original_promise() {
+        // Machine 100. Job 1 holds 50 units until t=1000; job 2 (the head,
+        // 100 units) is promised the shadow time t=1000. With factor 0.5
+        // the allowance is 0.5 × (1000 − 1) = 499 s, so the head's start
+        // must never slip past 1000 + 499 = 1499. Job 3 (ends 2+1300=1302
+        // ≤ 1499) backfills and pushes the shadow to 1302; job 4 (ends
+        // 3+1700=1703) must NOT: re-deriving the allowance from the
+        // recomputed shadow would accept it (1703 ≤ 1302 + 0.5×1301 =
+        // 1952) and every such round would relax an already-delayed
+        // reservation — unbounded cumulative head delay.
+        let jobs = vec![
+            job(1, 0, 1_000, 50, 1_000),
+            job(2, 1, 10, 100, 10),
+            job(3, 2, 1_300, 25, 1_300),
+            job(4, 3, 1_700, 25, 1_700),
+        ];
+        for relax in [Relax::Fixed { factor: 0.5 }, Relax::Adaptive { base: 0.5 }] {
+            let r = run(
+                jobs.clone(),
+                SimConfig {
+                    relax,
+                    ..SimConfig::default()
+                },
+            );
+            assert_eq!(wait_of(&r, 3), 0, "job 3 fits inside the allowance");
+            let head_start = 1 + wait_of(&r, 2);
+            assert!(
+                head_start <= 1_499,
+                "head start {head_start} exceeds promise 1000 + allowance 499 ({relax:?})"
+            );
+            // The head starts exactly when job 3 releases its units.
+            assert_eq!(head_start, 1_302);
+            assert_eq!(wait_of(&r, 4), 1_309, "job 4 waits behind the head");
+            assert_eq!(r.metrics.violated_jobs, 1, "only the head is delayed");
+        }
+    }
+
+    #[test]
+    fn batch_traces_with_duplicate_ids_keep_first_wins() {
+        // Historical traces (SWF) occasionally reuse job ids. Batch replay
+        // runs every submission and keeps the legacy first-wins rule for
+        // id lookups; only the incremental API rejects live duplicates.
+        let r = run(
+            vec![job(7, 0, 100, 100, 100), job(7, 1, 50, 100, 50)],
+            SimConfig::default(),
+        );
+        assert_eq!(r.jobs.len(), 2, "both submissions run");
+        assert_eq!(r.metrics.jobs, 2);
+        let waits: Vec<_> = r.jobs.iter().map(|j| j.wait.unwrap()).collect();
+        assert_eq!(waits, vec![0, 99]);
     }
 
     #[test]

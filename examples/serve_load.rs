@@ -94,6 +94,7 @@ fn main() {
                 queue_capacity: 1024,
                 time_scale: 0.0,
                 journal: None,
+                predictor: None,
             };
             let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral server");
             let addr = server.local_addr().expect("local addr").to_string();

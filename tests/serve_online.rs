@@ -58,6 +58,7 @@ fn online_replay_matches_batch_simulate() {
         queue_capacity: 64,
         time_scale: 0.0, // virtual time: deterministic, Advance-driven
         journal: None,
+        predictor: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr");
@@ -146,6 +147,7 @@ fn backpressure_rejects_instead_of_blocking() {
         queue_capacity: 1,
         time_scale: 0.0,
         journal: None,
+        predictor: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr");
@@ -182,6 +184,7 @@ fn protocol_errors_name_the_line_and_field() {
         queue_capacity: 16,
         time_scale: 0.0,
         journal: None,
+        predictor: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr");

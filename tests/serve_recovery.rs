@@ -149,15 +149,19 @@ fn probe_commands() -> Vec<String> {
     ]
 }
 
-/// Feeds `commands` to an uninterrupted in-process server (no journal) and
-/// returns every raw response line.
-fn reference_responses(commands: &[String]) -> Vec<String> {
+/// Feeds `commands` to an uninterrupted in-process server (no journal,
+/// optionally predictor-enabled) and returns every raw response line.
+fn reference_responses_with(
+    commands: &[String],
+    predictor: Option<lumos_serve::PredictorConfig>,
+) -> Vec<String> {
     let config = ServeConfig {
         system: SystemSpec::theta(),
         sim: SimConfig::default(),
         queue_capacity: 1024,
         time_scale: 0.0,
         journal: None,
+        predictor,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind reference");
     let addr = server.local_addr().expect("local addr").to_string();
@@ -172,6 +176,12 @@ fn reference_responses(commands: &[String]) -> Vec<String> {
         .expect("reference thread")
         .expect("reference run");
     replies
+}
+
+/// Feeds `commands` to an uninterrupted in-process server (no journal) and
+/// returns every raw response line.
+fn reference_responses(commands: &[String]) -> Vec<String> {
+    reference_responses_with(commands, None)
 }
 
 /// Path of the highest-numbered journal segment in `dir`.
@@ -236,6 +246,98 @@ fn killed_server_recovers_byte_identical_state() {
         reference[pre.len()..],
         "recovered state diverged from the uninterrupted run"
     );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_predictor_server_recovers_byte_identical_state() {
+    let dir = journal_dir("predictor");
+    let pre = precrash_commands();
+    let probes = probe_commands();
+    let flags = ["--predictor", "last2:1.5", "--snapshot-every", "6"];
+
+    // Same crash-injection shape as above, with the Last2 predictor in the
+    // scheduling loop: its streaming state (per-user histories, global
+    // mean) must be checkpointed and replayed too, or post-crash estimates
+    // — and therefore schedules and accuracy stats — drift.
+    let server = ServerProc::spawn(&dir, &flags);
+    let (mut writer, mut reader) = connect(&server.addr);
+    let mut live_replies = Vec::new();
+    for c in &pre {
+        live_replies.push(exchange(&mut writer, &mut reader, c));
+    }
+    server.kill();
+
+    let mut restarted = ServerProc::spawn(&dir, &flags);
+    restarted.read_recovery_lines();
+    let (mut writer, mut reader) = connect(&restarted.addr);
+    let recovered_replies: Vec<String> = probes
+        .iter()
+        .map(|c| exchange(&mut writer, &mut reader, c))
+        .collect();
+    let status = restarted.child.wait().expect("server exits after Shutdown");
+    assert!(status.success(), "restarted server exited with {status}");
+
+    let all: Vec<String> = pre.iter().chain(&probes).cloned().collect();
+    let reference = reference_responses_with(
+        &all,
+        Some(lumos_serve::PredictorConfig::Last2 { margin: 1.5 }),
+    );
+    assert_eq!(
+        live_replies[..],
+        reference[..pre.len()],
+        "pre-crash acknowledgments diverged from the uninterrupted run"
+    );
+    // The probes include `Stats`, so this compares the recovered
+    // prediction-accuracy fields byte for byte as well.
+    assert_eq!(
+        recovered_replies[..],
+        reference[pre.len()..],
+        "recovered predictor state diverged from the uninterrupted run"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovered_wall_clock_resumes_from_journaled_time() {
+    let dir = journal_dir("epoch");
+
+    // Build up journaled history deep into simulated time (virtual-time
+    // server: the clock is wherever Advance put it).
+    let server = ServerProc::spawn(&dir, &[]);
+    let (mut writer, mut reader) = connect(&server.addr);
+    let reply = exchange(&mut writer, &mut reader, r#"{"Advance":{"to":100000}}"#);
+    assert!(reply.contains("Advanced"), "unexpected {reply}");
+    server.kill();
+
+    // Restart under wall-clock time. The recovered clock must resume from
+    // t = 100000 — not stall until `elapsed × scale` catches up from zero.
+    let mut restarted = ServerProc::spawn(&dir, &["--time-scale", "1000"]);
+    let recovery = restarted.read_recovery_lines();
+    assert!(
+        recovery.iter().any(|l| l.contains("(t = 100000)")),
+        "unexpected recovery chatter: {recovery:?}"
+    );
+    let (mut writer, mut reader) = connect(&restarted.addr);
+    let reply = exchange(
+        &mut writer,
+        &mut reader,
+        r#"{"Submit":{"job":{"id":1,"procs":1,"runtime":1}}}"#,
+    );
+    assert!(reply.contains("Submitted"), "unexpected {reply}");
+    // At 1000 sim-seconds per wall second, one wall second more than
+    // finishes the 1 s job — if the epoch was reseeded correctly.
+    std::thread::sleep(std::time::Duration::from_millis(1200));
+    let reply = exchange(&mut writer, &mut reader, r#"{"Query":{"id":1}}"#);
+    assert!(
+        reply.contains("Finished"),
+        "recovered clock stalled instead of resuming: {reply}"
+    );
+    let reply = exchange(&mut writer, &mut reader, r#""Shutdown""#);
+    assert!(reply.contains("Bye"), "unexpected {reply}");
+    restarted.child.wait().expect("reap");
 
     std::fs::remove_dir_all(&dir).ok();
 }
