@@ -5,7 +5,7 @@
 //! ```text
 //! lumos <command> [--seed N] [--days N] [--out DIR] [--swf FILE --system NAME]
 //! lumos serve [--addr HOST:PORT] [--system NAME] [--policy P] [--backfill B]
-//!             [--queue-cap N] [--time-scale X]
+//!             [--queue-cap N] [--time-scale X] [--tenants FILE]
 //!             [--journal DIR] [--fsync always|never|interval:MS] [--snapshot-every N]
 //! lumos journal inspect DIR [--verbose]
 //!
@@ -96,7 +96,7 @@ fn usage() -> String {
      [--seed N] [--days N] [--out DIR] [--swf FILE --system NAME]\n\
      \x20      lumos serve [--addr HOST:PORT] [--system NAME] [--policy P] [--backfill B] \
      [--queue-cap N] [--time-scale X] [--predictor last2[:MARGIN]|user[:MARGIN]|off] \
-     [--journal DIR] [--fsync always|never|interval:MS] [--snapshot-every N]\n\
+     [--tenants FILE] [--journal DIR] [--fsync always|never|interval:MS] [--snapshot-every N]\n\
      \x20      lumos journal inspect DIR [--verbose]\n\
      \x20      lumos --help | --version"
         .to_string()
@@ -140,9 +140,11 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
                     "ljf" => lumos_sim::Policy::Ljf,
                     "saf" => lumos_sim::Policy::Saf,
                     "sqf" => lumos_sim::Policy::Sqf,
+                    "maxmin" => lumos_sim::Policy::MaxMinFair,
+                    "wfair" => lumos_sim::Policy::WeightedFair,
                     other => {
                         return Err(CliError::Usage(format!(
-                            "unknown --policy {other} (expected fcfs|sjf|ljf|saf|sqf)"
+                            "unknown --policy {other} (expected fcfs|sjf|ljf|saf|sqf|maxmin|wfair)"
                         )))
                     }
                 };
@@ -177,6 +179,15 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
             "--predictor" => {
                 config.predictor = lumos_serve::PredictorConfig::parse(&value("--predictor")?)
                     .map_err(|e| CliError::Usage(format!("--predictor: {e}")))?;
+            }
+            "--tenants" => {
+                let path = PathBuf::from(value("--tenants")?);
+                let text = std::fs::read_to_string(&path).map_err(|e| {
+                    CliError::Usage(format!("--tenants: reading {}: {e}", path.display()))
+                })?;
+                let table = lumos_sim::TenantTable::parse(&text)
+                    .map_err(|e| CliError::Usage(format!("--tenants: {}: {e}", path.display())))?;
+                config.tenants = Some(table);
             }
             "--journal" => journal_dir = Some(PathBuf::from(value("--journal")?)),
             "--fsync" => {
@@ -322,16 +333,36 @@ fn run_journal(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
                         system,
                         sim,
                         predictor,
+                        tenants,
                     } => {
                         println!(
-                            "  config  system={} policy={:?} predictor={}",
+                            "  config  system={} policy={:?} predictor={} tenants={}",
                             system.name,
                             sim.policy,
-                            predictor.map_or("off", |p| p.name())
+                            predictor.map_or("off", |p| p.name()),
+                            tenants.as_ref().map_or(0, lumos_sim::TenantTable::len)
                         );
+                        if let Some(table) = tenants {
+                            for spec in table.iter() {
+                                let quota = spec
+                                    .quota
+                                    .map_or_else(|| "unlimited".into(), |q| q.to_string());
+                                println!(
+                                    "    tenant  {} weight={} quota={quota}",
+                                    spec.name, spec.weight
+                                );
+                            }
+                        }
                     }
                     journal::JournalRecord::Submit { now, job } => {
-                        println!("  submit  t={now} job={} procs={}", job.id, job.procs);
+                        let tenant = job
+                            .tenant
+                            .as_ref()
+                            .map_or(String::new(), |t| format!(" tenant={t}"));
+                        println!(
+                            "  submit  t={now} job={} procs={}{tenant}",
+                            job.id, job.procs
+                        );
                     }
                     journal::JournalRecord::Cancel { now, id } => {
                         println!("  cancel  t={now} job={id}");

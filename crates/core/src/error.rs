@@ -50,6 +50,27 @@ pub enum CoreError {
         /// The reused job id.
         job: u64,
     },
+    /// A submission referenced a tenant name absent from the tenant table
+    /// (or named a tenant on a server with no tenant table at all).
+    UnknownTenant {
+        /// The unrecognized tenant name.
+        name: String,
+    },
+    /// Accepting a job would push its tenant past its resource-unit quota.
+    ///
+    /// The quota bounds a tenant's total *outstanding* resource units —
+    /// everything pending, waiting, or running — so the check can reject
+    /// at submit time instead of letting jobs queue forever.
+    QuotaExceeded {
+        /// Tenant whose quota would be exceeded.
+        tenant: String,
+        /// Resource units the new job requests.
+        requested: u64,
+        /// Resource units the tenant already has outstanding.
+        in_use: u64,
+        /// The tenant's configured quota in resource units.
+        quota: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -79,6 +100,19 @@ impl fmt::Display for CoreError {
                     "duplicate job id {job}: an earlier submission is still live"
                 )
             }
+            Self::UnknownTenant { name } => {
+                write!(f, "unknown tenant `{name}`")
+            }
+            Self::QuotaExceeded {
+                tenant,
+                requested,
+                in_use,
+                quota,
+            } => write!(
+                f,
+                "tenant `{tenant}` quota exceeded: {requested} units requested \
+                 with {in_use} already outstanding against a quota of {quota}"
+            ),
         }
     }
 }

@@ -44,7 +44,7 @@ use std::time::Instant;
 
 use lumos_core::{SystemSpec, Timestamp};
 use lumos_predict::PredictorConfig;
-use lumos_sim::SimConfig;
+use lumos_sim::{SimConfig, TenantTable};
 use serde::{Deserialize, Serialize};
 
 use crate::protocol::SubmitSpec;
@@ -133,12 +133,15 @@ pub enum JournalRecord {
     /// Segment header: the configuration the session runs under. The
     /// `predictor` field records the walltime-predictor mode (absent both
     /// for predictor-off servers and in pre-predictor journals, which
-    /// deserialize with `None`).
+    /// deserialize with `None`); `tenants` records the tenant table the
+    /// same way (absent for tenant-less servers and in pre-tenancy
+    /// journals).
     #[allow(missing_docs)]
     Config {
         system: SystemSpec,
         sim: SimConfig,
         predictor: Option<PredictorConfig>,
+        tenants: Option<TenantTable>,
     },
     /// An accepted submission, with `job.submit` resolved (never `None`).
     #[allow(missing_docs)]

@@ -23,10 +23,27 @@ use lumos_sim::{SimEvent, SimSession};
 use lumos_stats::{QuantileBank, Summary};
 use serde::{Deserialize, Serialize};
 
-use crate::protocol::{PredictionStats, ServeStats};
+use crate::protocol::{PredictionStats, ServeStats, TenantServeStats, TenantsStats};
 
 /// The percentiles `stats` reports.
 pub const WAIT_PERCENTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+/// Streaming wait-time aggregates for one tenant, parallel to the
+/// server's tenant table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TenantWaits {
+    wait_quantiles: QuantileBank,
+    wait_summary: Summary,
+}
+
+impl TenantWaits {
+    fn new() -> Self {
+        Self {
+            wait_quantiles: QuantileBank::new(&WAIT_PERCENTILES),
+            wait_summary: Summary::new(),
+        }
+    }
+}
 
 /// Streaming aggregates over everything the session has done so far.
 ///
@@ -47,12 +64,23 @@ pub struct LiveMetrics {
     pred_under: u64,
     /// Absolute error |planned walltime − runtime| over scored jobs.
     pred_abs_err: Summary,
+    /// Per-tenant wait aggregates in tenant-table order; `None` when the
+    /// server runs without a tenant table — and in pre-tenancy
+    /// checkpoints, which deserialize with `None`.
+    tenant_waits: Option<Vec<TenantWaits>>,
 }
 
 impl LiveMetrics {
     /// Empty metrics with the configured bounded-slowdown bound.
     #[must_use]
     pub fn new(bsld_bound: Duration) -> Self {
+        Self::new_with_tenants(bsld_bound, None)
+    }
+
+    /// [`LiveMetrics::new`] with per-tenant wait tracking for a tenant
+    /// table of `tenants` entries.
+    #[must_use]
+    pub fn new_with_tenants(bsld_bound: Duration, tenants: Option<usize>) -> Self {
         Self {
             bsld_bound,
             wait_quantiles: QuantileBank::new(&WAIT_PERCENTILES),
@@ -62,6 +90,7 @@ impl LiveMetrics {
             pred_scored: 0,
             pred_under: 0,
             pred_abs_err: Summary::new(),
+            tenant_waits: tenants.map(|n| (0..n).map(|_| TenantWaits::new()).collect()),
         }
     }
 
@@ -78,6 +107,14 @@ impl LiveMetrics {
                 SimEvent::Started { id, wait, .. } => {
                     self.wait_quantiles.observe(*wait as f64);
                     self.wait_summary.add(*wait as f64);
+                    if let (Some(banks), Some(tenant)) =
+                        (self.tenant_waits.as_mut(), session.tenant_of(*id))
+                    {
+                        if let Some(tw) = banks.get_mut(usize::from(tenant)) {
+                            tw.wait_quantiles.observe(*wait as f64);
+                            tw.wait_summary.add(*wait as f64);
+                        }
+                    }
                     if let Some(bsld) = session
                         .job(*id)
                         .and_then(|j| j.bounded_slowdown(self.bsld_bound))
@@ -130,7 +167,41 @@ impl LiveMetrics {
                 },
                 mean_abs_error: self.pred_abs_err.mean(),
             },
+            tenants: self.tenants_block(session),
         }
+    }
+
+    /// The per-tenant rows plus Jain's fairness index, when tenancy is on.
+    fn tenants_block(&self, session: &SimSession) -> Option<TenantsStats> {
+        let usage = session.tenant_usage()?;
+        // Fairness over weight-normalized delivered service, counting
+        // only tenants that asked for anything: an idle tenant is not
+        // being treated unfairly, it has no demand.
+        let served: Vec<f64> = usage
+            .iter()
+            .filter(|u| u.counts.submitted > 0)
+            .map(|u| u.served_unit_seconds as f64 / u.weight)
+            .collect();
+        let fairness = lumos_stats::jain_index(&served).unwrap_or(1.0);
+        let empty: &[TenantWaits] = &[];
+        let banks = self.tenant_waits.as_deref().unwrap_or(empty);
+        let tenants = usage
+            .into_iter()
+            .enumerate()
+            .map(|(i, u)| match banks.get(i) {
+                Some(tw) => TenantServeStats {
+                    usage: u,
+                    wait_quantiles: tw.wait_quantiles.estimates(),
+                    mean_wait: tw.wait_summary.mean(),
+                },
+                None => TenantServeStats {
+                    usage: u,
+                    wait_quantiles: WAIT_PERCENTILES.iter().map(|&p| (p, None)).collect(),
+                    mean_wait: 0.0,
+                },
+            })
+            .collect();
+        Some(TenantsStats { fairness, tenants })
     }
 }
 

@@ -18,7 +18,7 @@
 //! ```
 
 use lumos_core::{Duration, Timestamp};
-use lumos_sim::{JobState, SessionSnapshot, SimMetrics};
+use lumos_sim::{JobState, SessionSnapshot, SimMetrics, TenantUsage};
 use serde::{Deserialize, Serialize};
 
 /// A job submission over the wire. Only `id`, `procs`, and `runtime` are
@@ -40,6 +40,9 @@ pub struct SubmitSpec {
     pub submit: Option<Timestamp>,
     /// Virtual-cluster binding (Philly-style systems).
     pub virtual_cluster: Option<u16>,
+    /// Owning tenant name; requires the server to run with a tenant
+    /// table (`--tenants`). Absent means the built-in `default` tenant.
+    pub tenant: Option<String>,
 }
 
 /// A client request.
@@ -79,6 +82,30 @@ pub struct PredictionStats {
     pub mean_abs_error: f64,
 }
 
+/// One tenant's row in the `stats` tenants block.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantServeStats {
+    /// Static configuration plus live usage accounting from the session
+    /// (job counts, outstanding/used units, delivered unit-seconds).
+    pub usage: TenantUsage,
+    /// Streaming wait-time quantile estimates `(p, seconds)` over this
+    /// tenant's started jobs; `null` before any of them started.
+    pub wait_quantiles: Vec<(f64, Option<f64>)>,
+    /// Mean observed waiting time (s) over this tenant's started jobs.
+    pub mean_wait: f64,
+}
+
+/// The `stats` tenants block (tenant-enabled servers only).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantsStats {
+    /// Jain's fairness index over weight-normalized delivered service
+    /// (`served_unit_seconds / weight`) across tenants with at least one
+    /// accepted job; `1.0` when nothing has been delivered yet.
+    pub fairness: f64,
+    /// Per-tenant rows, in tenant-table order.
+    pub tenants: Vec<TenantServeStats>,
+}
+
 /// Live metrics reported by `stats`.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ServeStats {
@@ -97,6 +124,9 @@ pub struct ServeStats {
     pub predictor: Option<String>,
     /// Planned-walltime accuracy over completed jobs.
     pub prediction: PredictionStats,
+    /// Per-tenant usage, waits, and fairness; `null` when the server
+    /// runs without a tenant table.
+    pub tenants: Option<TenantsStats>,
 }
 
 /// A server response.
@@ -108,6 +138,17 @@ pub enum Response {
     /// The submission was refused (validation failure or backpressure).
     #[allow(missing_docs)]
     Rejected { id: Option<u64>, reason: String },
+    /// The submission was refused because it would push its tenant past
+    /// its outstanding-units quota. A distinct reply (not a generic
+    /// `Rejected`) so clients can back off instead of retrying.
+    #[allow(missing_docs)]
+    QuotaExceeded {
+        id: u64,
+        tenant: String,
+        requested: u64,
+        in_use: u64,
+        quota: u64,
+    },
     /// Outcome of a cancel request.
     #[allow(missing_docs)]
     Cancelled { id: u64, ok: bool },
@@ -138,13 +179,43 @@ pub enum Response {
 }
 
 impl Request {
-    /// Parses one request line.
+    /// Parses one request line, including semantic validation of submit
+    /// specs (zero resource units, empty tenant names) so nonsense is
+    /// refused at the protocol edge with field context instead of
+    /// reaching the scheduler.
     ///
     /// # Errors
-    /// Returns a human-readable message for malformed JSON or an unknown
-    /// command shape.
+    /// Returns a human-readable message for malformed JSON, an unknown
+    /// command shape, or an invalid field value.
     pub fn parse(line: &str) -> Result<Self, String> {
-        serde_json::from_str(line.trim()).map_err(|e| format!("bad request: {e}"))
+        let req: Self =
+            serde_json::from_str(line.trim()).map_err(|e| format!("bad request: {e}"))?;
+        req.validate()?;
+        Ok(req)
+    }
+
+    /// Semantic validation beyond what deserialization checks. Only wire
+    /// parsing goes through this — journal replay applies records that
+    /// were already validated when first accepted.
+    fn validate(&self) -> Result<(), String> {
+        let Request::Submit { job } = self else {
+            return Ok(());
+        };
+        if job.procs == 0 {
+            return Err(format!(
+                "Submit.job.procs: job {} requests zero resource units",
+                job.id
+            ));
+        }
+        if let Some(tenant) = &job.tenant {
+            if tenant.trim().is_empty() {
+                return Err(format!(
+                    "Submit.job.tenant: job {} names an empty tenant",
+                    job.id
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Serializes the request as one NDJSON line (no trailing newline).
@@ -177,6 +248,7 @@ mod tests {
                 user: None,
                 submit: Some(50),
                 virtual_cluster: None,
+                tenant: Some("alice".into()),
             },
         };
         let line = req.to_line();
@@ -191,9 +263,31 @@ mod tests {
                 assert_eq!(job.id, 1);
                 assert_eq!(job.walltime, None);
                 assert_eq!(job.submit, None);
+                assert_eq!(job.tenant, None);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn semantic_validation_names_the_field() {
+        // Zero resource units is nonsense the protocol layer refuses.
+        let err =
+            Request::parse(r#"{"Submit":{"job":{"id":9,"procs":0,"runtime":60}}}"#).unwrap_err();
+        assert!(err.contains("Submit.job.procs"), "{err}");
+        assert!(err.contains("job 9"), "{err}");
+        // So is an explicitly empty (or all-whitespace) tenant name.
+        for tenant in [r#""""#, r#""  ""#] {
+            let line = format!(
+                r#"{{"Submit":{{"job":{{"id":3,"procs":1,"runtime":60,"tenant":{tenant}}}}}}}"#
+            );
+            let err = Request::parse(&line).unwrap_err();
+            assert!(err.contains("Submit.job.tenant"), "{err}");
+            assert!(err.contains("job 3"), "{err}");
+        }
+        // A well-formed tenant passes.
+        Request::parse(r#"{"Submit":{"job":{"id":3,"procs":1,"runtime":60,"tenant":"a"}}}"#)
+            .unwrap();
     }
 
     #[test]

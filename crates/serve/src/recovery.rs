@@ -20,12 +20,12 @@ use std::path::Path;
 
 use lumos_core::SystemSpec;
 use lumos_predict::{OnlinePredictor, Predictor};
-use lumos_sim::SimSession;
+use lumos_sim::{SimSession, TenantTable};
 use serde::{Deserialize, Serialize};
 
 use crate::journal::{self, Journal, JournalConfig, JournalRecord};
 use crate::metrics::LiveMetrics;
-use crate::server::{job_from_spec, ServeConfig};
+use crate::server::{job_from_spec, new_session, ServeConfig};
 
 /// What a rotation snapshot file (`snapshot-NNNNNN.json`) contains: the
 /// machine, the full session state, the metrics accumulated so far, and
@@ -106,14 +106,15 @@ pub fn recover(serve: &ServeConfig, jc: &JournalConfig) -> io::Result<Recovered>
     let mut virgin = base.is_none();
     let (start_seq, (mut system, mut session, mut metrics, mut predictor)) =
         base.unwrap_or_else(|| {
-            let mut s = SimSession::new(&serve.system, serve.sim);
-            s.advance_to(0);
             (
                 0,
                 (
                     serve.system.clone(),
-                    s,
-                    LiveMetrics::new(serve.sim.bsld_bound),
+                    new_session(serve),
+                    LiveMetrics::new_with_tenants(
+                        serve.sim.bsld_bound,
+                        serve.tenants.as_ref().map(TenantTable::len),
+                    ),
                     serve.predictor.map(Predictor::new),
                 ),
             )
@@ -202,6 +203,7 @@ pub fn recover(serve: &ServeConfig, jc: &JournalConfig) -> io::Result<Recovered>
             system: system.clone(),
             sim: *session.config(),
             predictor: predictor.as_ref().map(Predictor::config),
+            tenants: session.tenant_table().cloned(),
         })?;
     }
 
@@ -263,25 +265,37 @@ fn apply(
             system: js,
             sim,
             predictor: jp,
+            tenants: jt,
         } => {
             let differs = js != *system
                 || sim != *session.config()
-                || jp != predictor.as_ref().map(Predictor::config);
+                || jp != predictor.as_ref().map(Predictor::config)
+                || jt.as_ref() != session.tenant_table();
             if differs && *virgin {
                 // The journal was written under a different configuration
                 // than the CLI provided this time. Continuity wins: adopt
                 // the journaled configuration before replaying.
-                if js != serve.system || sim != serve.sim || jp != serve.predictor {
+                if js != serve.system
+                    || sim != serve.sim
+                    || jp != serve.predictor
+                    || jt != serve.tenants
+                {
                     warnings.push(
                         "journal header differs from the configured system/policy; \
                          continuing the journaled configuration"
                             .into(),
                     );
                 }
-                let mut s = SimSession::new(&js, sim);
+                let mut s = match &jt {
+                    Some(table) => SimSession::new_with_tenants(&js, sim, table.clone()),
+                    None => SimSession::new(&js, sim),
+                };
                 s.advance_to(0);
                 *session = s;
-                *metrics = LiveMetrics::new(sim.bsld_bound);
+                *metrics = LiveMetrics::new_with_tenants(
+                    sim.bsld_bound,
+                    jt.as_ref().map(TenantTable::len),
+                );
                 *predictor = jp.map(Predictor::new);
                 *system = js;
             } else if differs {
@@ -295,25 +309,29 @@ fn apply(
             *virgin = false;
             session.advance_to(now);
             let spec_id = job.id;
-            let built = job_from_spec(&job, session.now().max(0));
-            // Mirror the live submit path exactly: predict before the
-            // submission, observe only when it is accepted — rejected
-            // submissions were never journaled, so they never touched the
-            // live predictor either.
-            let estimate = predictor
-                .as_ref()
-                .map(|p| p.predict(built.user, built.walltime));
-            let (user, runtime) = (built.user, built.runtime);
-            match session.submit_with_walltime(built, estimate) {
-                Ok(()) => {
+            // Mirror the live submit path exactly: resolve the tenant and
+            // predict before the submission, observe only when it is
+            // accepted — rejected submissions were never journaled, so
+            // they never touched the live predictor either.
+            let outcome = session
+                .resolve_tenant(job.tenant.as_deref())
+                .and_then(|tenant| {
+                    let built = job_from_spec(&job, session.now().max(0));
+                    let estimate = predictor
+                        .as_ref()
+                        .map(|p| p.predict(built.user, built.walltime));
+                    let (user, runtime) = (built.user, built.runtime);
+                    session.submit_with_tenant(built, tenant, estimate)?;
                     if let Some(p) = predictor.as_mut() {
                         p.observe(user, runtime);
                     }
                     session.advance_to(session.now());
-                }
-                Err(e) => warnings.push(format!(
+                    Ok(())
+                });
+            if let Err(e) = outcome {
+                warnings.push(format!(
                     "replay: journaled submission of job {spec_id} no longer applies ({e}); skipped"
-                )),
+                ));
             }
             let events = session.drain_events();
             metrics.absorb(&events, session);

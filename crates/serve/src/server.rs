@@ -33,9 +33,9 @@ use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use lumos_core::{Job, JobStatus, SystemSpec, Timestamp};
+use lumos_core::{CoreError, Job, JobStatus, SystemSpec, Timestamp};
 use lumos_predict::{OnlinePredictor, Predictor, PredictorConfig};
-use lumos_sim::{SimConfig, SimSession};
+use lumos_sim::{SimConfig, SimSession, TenantTable};
 
 use crate::journal::{JournalConfig, JournalRecord};
 use crate::metrics::LiveMetrics;
@@ -59,6 +59,9 @@ pub struct ServeConfig {
     /// Online walltime predictor; `None` schedules with client-requested
     /// walltimes only.
     pub predictor: Option<PredictorConfig>,
+    /// Static tenant table (`--tenants FILE`); `None` serves one
+    /// undifferentiated queue with no quotas or per-tenant accounting.
+    pub tenants: Option<TenantTable>,
 }
 
 impl ServeConfig {
@@ -73,8 +76,20 @@ impl ServeConfig {
             time_scale: 0.0,
             journal: None,
             predictor: None,
+            tenants: None,
         }
     }
+}
+
+/// Builds a fresh session under `config`, with tenancy when configured.
+pub(crate) fn new_session(config: &ServeConfig) -> SimSession {
+    let mut session = match config.tenants.clone() {
+        Some(table) => SimSession::new_with_tenants(&config.system, config.sim, table),
+        None => SimSession::new(&config.system, config.sim),
+    };
+    // Sessions start at t = 0, not at the dawn of representable time.
+    session.advance_to(0);
+    session
 }
 
 /// One queued command and the channel its response travels back on.
@@ -232,13 +247,14 @@ fn scheduler_loop(
     let (system, mut session, mut metrics, mut predictor, mut journal) = match recovered {
         Some(r) => (r.system, r.session, r.metrics, r.predictor, Some(r.journal)),
         None => {
-            let mut session = SimSession::new(&config.system, config.sim);
-            // Sessions start at t = 0, not at the dawn of representable time.
-            session.advance_to(0);
+            let session = new_session(config);
             (
                 config.system.clone(),
                 session,
-                LiveMetrics::new(config.sim.bsld_bound),
+                LiveMetrics::new_with_tenants(
+                    config.sim.bsld_bound,
+                    config.tenants.as_ref().map(TenantTable::len),
+                ),
                 config.predictor.map(Predictor::new),
                 None,
             )
@@ -295,6 +311,7 @@ fn scheduler_loop(
                         system: system.clone(),
                         sim: *session.config(),
                         predictor: predictor.as_ref().map(Predictor::config),
+                        tenants: session.tenant_table().cloned(),
                     };
                     if let Err(e) = journal.rotate(&snap, &header) {
                         // Not fatal: the old segment is intact, recovery
@@ -452,6 +469,21 @@ fn submit(
         );
     }
     let id = spec.id;
+    // Resolve tenant ownership up front; an unknown name is a plain
+    // rejection (never journaled, like every refused submission).
+    let tenant = match session.resolve_tenant(spec.tenant.as_deref()) {
+        Ok(t) => t,
+        Err(e) => {
+            metrics.record_rejection();
+            return (
+                Response::Rejected {
+                    id: Some(id),
+                    reason: e.to_string(),
+                },
+                None,
+            );
+        }
+    };
     let now = session.now();
     let job = job_from_spec(&spec, now.max(0));
     let resolved_submit = job.submit;
@@ -462,7 +494,7 @@ fn submit(
         .as_ref()
         .map(|p| p.predict(job.user, job.walltime));
     let (user, runtime) = (job.user, job.runtime);
-    match session.submit_with_walltime(job, estimate) {
+    match session.submit_with_tenant(job, tenant, estimate) {
         Ok(()) => {
             if let Some(p) = predictor.as_mut() {
                 p.observe(user, runtime);
@@ -485,6 +517,26 @@ fn submit(
                     state: session.query(id).expect("just submitted"),
                 },
                 Some(record),
+            )
+        }
+        // Quota refusals get their own reply shape so clients can tell
+        // "back off" from "fix your request".
+        Err(CoreError::QuotaExceeded {
+            tenant,
+            requested,
+            in_use,
+            quota,
+        }) => {
+            metrics.record_rejection();
+            (
+                Response::QuotaExceeded {
+                    id,
+                    tenant,
+                    requested,
+                    in_use,
+                    quota,
+                },
+                None,
             )
         }
         Err(e) => {

@@ -42,6 +42,7 @@ fn fixture_records(system: &SystemSpec, sim: SimConfig) -> Vec<JournalRecord> {
         system: system.clone(),
         sim,
         predictor: None,
+        tenants: None,
     }];
     for i in 0..20u64 {
         let t = i as i64 * 13;
@@ -60,6 +61,7 @@ fn fixture_records(system: &SystemSpec, sim: SimConfig) -> Vec<JournalRecord> {
                 user: Some((i % 3) as u32),
                 submit: Some(t),
                 virtual_cluster: None,
+                tenant: None,
             },
         });
         if i % 6 == 5 {
@@ -203,6 +205,7 @@ fn rotation_bounds_replay_to_snapshot_plus_tail() {
                 system: system.clone(),
                 sim,
                 predictor: None,
+                tenants: None,
             };
             journal.rotate(&snap, &header).expect("rotate");
         }
@@ -229,6 +232,90 @@ fn rotation_bounds_replay_to_snapshot_plus_tail() {
     assert_eq!(
         serde_json::to_string(&recovered.metrics).unwrap(),
         serde_json::to_string(&expected_metrics).unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Drops `,"key":null` pairs from serialized JSON — exactly what the
+/// same document looked like before the key existed at all (the vendored
+/// serde defaults missing `Option` fields to `None`).
+fn strip_keys(json: &str, keys: &[&str]) -> String {
+    let mut out = json.to_string();
+    for key in keys {
+        out = out.replace(&format!(",\"{key}\":null"), "");
+    }
+    assert!(
+        !out.contains("tenant"),
+        "a tenancy key survived stripping: {out}"
+    );
+    out
+}
+
+#[test]
+fn pre_tenancy_journals_still_recover() {
+    let system = tiny_system(100);
+    let sim = SimConfig::default();
+    let records = fixture_records(&system, sim);
+
+    // Re-frame each record the way a pre-tenancy server wrote it: no
+    // `tenants` key in Config headers, no `tenant` key in submissions.
+    let old_format: String = records
+        .iter()
+        .map(|r| {
+            let json = strip_keys(
+                &serde_json::to_string(r).expect("records serialize"),
+                &["tenants", "tenant"],
+            );
+            format!(
+                "{} {:08x} {}\n",
+                json.len(),
+                lumos_serve::journal::crc32(json.as_bytes()),
+                json
+            )
+        })
+        .collect();
+    let dir = fresh_dir("pretenancy");
+    std::fs::write(segment_path(&dir, 0), old_format).expect("write old segment");
+
+    let jc = JournalConfig::new(dir.clone());
+    let recovered = recover(&serve_config(&system, sim), &jc).expect("recover");
+    assert!(recovered.warnings.is_empty(), "{:?}", recovered.warnings);
+    let (expected_session, expected_metrics) = replay_expected(&records, &system, sim);
+    assert_eq!(
+        recovered.session.save_state(),
+        expected_session.save_state()
+    );
+    assert_eq!(
+        serde_json::to_string(&recovered.metrics).unwrap(),
+        serde_json::to_string(&expected_metrics).unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pre_tenancy_snapshots_still_restore() {
+    let system = tiny_system(100);
+    let sim = SimConfig::default();
+    let records = fixture_records(&system, sim);
+    let (session, metrics) = replay_expected(&records, &system, sim);
+
+    // A rotation snapshot as an old server wrote it: no `tenants` /
+    // `tenant_of` in the session state, no `tenant_waits` in metrics.
+    let snap = strip_keys(
+        &lumos_serve::recovery::snapshot_json(&system, &session, &metrics, None),
+        &["tenants", "tenant_of", "tenant_waits"],
+    );
+    let dir = fresh_dir("presnap");
+    std::fs::write(lumos_serve::journal::snapshot_path(&dir, 1), snap).expect("write snapshot");
+
+    let jc = JournalConfig::new(dir.clone());
+    let recovered = recover(&serve_config(&system, sim), &jc).expect("recover");
+    assert!(recovered.warnings.is_empty(), "{:?}", recovered.warnings);
+    assert_eq!(recovered.replayed, 0, "snapshot-only recovery");
+    assert_eq!(recovered.session.save_state(), session.save_state());
+    assert_eq!(
+        serde_json::to_string(&recovered.metrics).unwrap(),
+        serde_json::to_string(&metrics).unwrap()
     );
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -31,9 +31,11 @@ pub mod policy;
 pub mod profile;
 pub mod session;
 pub mod simulator;
+pub mod tenant;
 
 pub use backfill::{Backfill, Relax};
 pub use metrics::{SimMetrics, UtilizationTimeline};
 pub use policy::Policy;
 pub use session::{JobState, SessionSnapshot, SessionState, SimEvent, SimSession};
 pub use simulator::{simulate, simulate_with_walltimes, SimConfig, SimResult};
+pub use tenant::{TenantCounts, TenantId, TenantSpec, TenantTable, TenantUsage};

@@ -23,16 +23,25 @@ pub enum Policy {
     Saf,
     /// Smallest-Job-First: order by requested processors.
     Sqf,
+    /// Max-min fair-share: order by the owning tenant's current usage
+    /// share (running resource units over partition capacity), so the
+    /// least-served tenant's jobs run first; FCFS order within a tenant.
+    MaxMinFair,
+    /// Weighted fair-share: max-min over *weight-normalized* shares, so a
+    /// tenant with weight 2 is entitled to twice the machine of weight 1.
+    WeightedFair,
 }
 
 impl Policy {
     /// All policies (for sweeps).
-    pub const ALL: [Policy; 5] = [
+    pub const ALL: [Policy; 7] = [
         Policy::Fcfs,
         Policy::Sjf,
         Policy::Ljf,
         Policy::Saf,
         Policy::Sqf,
+        Policy::MaxMinFair,
+        Policy::WeightedFair,
     ];
 
     /// Display name.
@@ -44,7 +53,24 @@ impl Policy {
             Self::Ljf => "LJF",
             Self::Saf => "SAF",
             Self::Sqf => "SQF",
+            Self::MaxMinFair => "MaxMin",
+            Self::WeightedFair => "WFair",
         }
+    }
+
+    /// Whether this policy orders by live tenant usage share. Fair-share
+    /// queues are re-sorted at every scheduling pass (shares move as jobs
+    /// start and finish) instead of relying on the static insertion key.
+    #[must_use]
+    pub fn is_fair_share(self) -> bool {
+        matches!(self, Self::MaxMinFair | Self::WeightedFair)
+    }
+
+    /// Whether fair-share ordering divides each tenant's share by its
+    /// configured weight.
+    #[must_use]
+    pub fn is_weighted(self) -> bool {
+        matches!(self, Self::WeightedFair)
     }
 
     /// Priority key; smaller runs earlier. Ties are broken by
@@ -66,6 +92,10 @@ impl Policy {
             Self::Ljf => -(walltime as f64),
             Self::Saf => walltime as f64 * job.procs as f64,
             Self::Sqf => job.procs as f64,
+            // Fair-share policies rank by live tenant share, which is not a
+            // property of the job; the static key degrades to FCFS order so
+            // ties between equally-served tenants stay arrival-ordered.
+            Self::MaxMinFair | Self::WeightedFair => job.submit as f64,
         }
     }
 }
@@ -117,5 +147,28 @@ mod tests {
         let small = job(1, 0, 1_000, 2, None);
         let big = job(2, 0, 1, 64, None);
         assert!(Policy::Sqf.key(&small) < Policy::Sqf.key(&big));
+    }
+
+    #[test]
+    fn fair_share_static_keys_degrade_to_fcfs() {
+        let early = job(1, 10, 500, 64, Some(900));
+        let late = job(2, 20, 1, 1, Some(5));
+        for p in [Policy::MaxMinFair, Policy::WeightedFair] {
+            assert!(p.is_fair_share());
+            assert!(p.key(&early) < p.key(&late));
+        }
+        assert!(Policy::WeightedFair.is_weighted());
+        assert!(!Policy::MaxMinFair.is_weighted());
+        assert!(!Policy::Fcfs.is_fair_share());
+    }
+
+    #[test]
+    fn all_lists_every_policy_once() {
+        assert_eq!(Policy::ALL.len(), 7);
+        for (i, a) in Policy::ALL.iter().enumerate() {
+            for b in &Policy::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 }

@@ -26,6 +26,7 @@ use crate::cluster::{Cluster, RunningJob};
 use crate::metrics::{SimMetrics, UtilizationTimeline};
 use crate::profile::CapacityProfile;
 use crate::simulator::{SimConfig, SimResult};
+use crate::tenant::{TenantId, TenantState, TenantTable, TenantUsage};
 
 /// Lifecycle state of a job inside a session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -134,6 +135,13 @@ pub struct SessionState {
     pub events: Vec<SimEvent>,
     /// Whether the session records events.
     pub record_events: bool,
+    /// Tenant table, when the session runs with tenancy enabled.
+    /// `Option` so snapshots written before tenancy existed still
+    /// deserialize (missing field → `None` → tenancy off).
+    pub tenants: Option<TenantTable>,
+    /// Owning tenant per job, parallel to `jobs`; saved iff `tenants`
+    /// is. Usage accounting is re-derived from this plus the states.
+    pub tenant_of: Option<Vec<TenantId>>,
 }
 
 /// An incremental scheduling simulation.
@@ -185,6 +193,8 @@ pub struct SimSession {
     events: Vec<SimEvent>,
     finished_count: usize,
     cancelled_count: usize,
+    /// Tenant table + per-tenant accounting; `None` when tenancy is off.
+    tenants: Option<TenantState>,
 }
 
 impl SimSession {
@@ -217,7 +227,19 @@ impl SimSession {
             events: Vec::new(),
             finished_count: 0,
             cancelled_count: 0,
+            tenants: None,
         }
+    }
+
+    /// Creates an empty session with tenancy enabled: every job is owned
+    /// by a tenant from `table` (the built-in `default` tenant when the
+    /// submission names none), quotas are enforced at submit time, and
+    /// fair-share policies order queues by live tenant shares.
+    #[must_use]
+    pub fn new_with_tenants(system: &SystemSpec, config: SimConfig, table: TenantTable) -> Self {
+        let mut s = Self::new(system, config);
+        s.tenants = Some(TenantState::new(table));
+        s
     }
 
     /// Current simulation time. `Timestamp::MIN` until the first
@@ -255,7 +277,47 @@ impl SimSession {
     /// [`CoreError::DuplicateJob`] when an earlier job with the same id is
     /// still live (pending, waiting, or running) — a duplicate would run
     /// but be unaddressable through `query`/`cancel`.
-    pub fn submit_with_walltime(&mut self, mut job: Job, walltime: Option<Duration>) -> Result<()> {
+    pub fn submit_with_walltime(&mut self, job: Job, walltime: Option<Duration>) -> Result<()> {
+        self.submit_with_tenant(job, None, walltime)
+    }
+
+    /// Resolves a tenant name to its table id under this session's
+    /// tenancy configuration. `None` in, `None` out (untenanted
+    /// submissions later map to the built-in `default` tenant).
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownTenant`] when the name is absent from the
+    /// table, or when a name is given but tenancy is off.
+    pub fn resolve_tenant(&self, name: Option<&str>) -> Result<Option<TenantId>> {
+        match (name, &self.tenants) {
+            (None, _) => Ok(None),
+            (Some(n), Some(ts)) => match ts.table.lookup(n) {
+                Some(id) => Ok(Some(id)),
+                None => Err(CoreError::UnknownTenant {
+                    name: n.to_string(),
+                }),
+            },
+            (Some(n), None) => Err(CoreError::UnknownTenant {
+                name: n.to_string(),
+            }),
+        }
+    }
+
+    /// [`SimSession::submit_with_walltime`] with an explicit owning
+    /// tenant (from [`SimSession::resolve_tenant`]). `None` assigns the
+    /// built-in `default` tenant when tenancy is enabled.
+    ///
+    /// # Errors
+    /// Same contract as [`SimSession::submit_with_walltime`], plus
+    /// [`CoreError::UnknownTenant`] for an out-of-table id and
+    /// [`CoreError::QuotaExceeded`] when accepting the job would push
+    /// its tenant past its outstanding-units quota.
+    pub fn submit_with_tenant(
+        &mut self,
+        mut job: Job,
+        tenant: Option<TenantId>,
+        walltime: Option<Duration>,
+    ) -> Result<()> {
         if !self.allow_duplicate_ids {
             if let Some(&prev) = self.by_id.get(&job.id) {
                 if matches!(
@@ -286,22 +348,46 @@ impl SimSession {
                 capacity,
             });
         }
+        let part = self.cluster.route(job.virtual_cluster, job.procs);
+        let cap = self.cluster.partition(part).capacity;
+        let procs_eff = job.procs.min(cap);
+        // Resolve ownership and enforce the quota before mutating
+        // anything, so a rejected submission leaves no trace behind.
+        let owner = match (&self.tenants, tenant) {
+            (None, None) => None,
+            (None, Some(id)) => {
+                return Err(CoreError::UnknownTenant {
+                    name: format!("#{id}"),
+                })
+            }
+            (Some(ts), t) => {
+                let id = t.unwrap_or_else(|| ts.table.default_tenant());
+                if usize::from(id) >= ts.table.len() {
+                    return Err(CoreError::UnknownTenant {
+                        name: format!("#{id}"),
+                    });
+                }
+                ts.quota_check(id, procs_eff)?;
+                Some(id)
+            }
+        };
         job.wait = None;
 
         let idx = self.jobs.len();
-        let part = self.cluster.route(job.virtual_cluster, job.procs);
-        let cap = self.cluster.partition(part).capacity;
         let wall = match walltime {
             Some(w) => w.max(1),
             None => job.planning_walltime().max(1),
         };
         self.part_of.push(part);
-        self.procs_eff.push(job.procs.min(cap));
+        self.procs_eff.push(procs_eff);
         self.plan_wall.push(wall);
         self.key_of.push(self.config.policy.key_with(&job, wall));
         self.promised.push(None);
         self.state.push(JobState::Pending);
         self.by_id.entry(job.id).or_insert(idx);
+        if let Some(ts) = &mut self.tenants {
+            ts.on_submit(owner.expect("tenancy on implies an owner"), procs_eff);
+        }
 
         let key = (job.submit, job.id);
         self.jobs.push(job);
@@ -320,7 +406,8 @@ impl SimSession {
         let Some(&idx) = self.by_id.get(&id) else {
             return false;
         };
-        match self.state[idx] {
+        let was = self.state[idx];
+        match was {
             JobState::Pending => {
                 let pos = self
                     .pending
@@ -347,6 +434,9 @@ impl SimSession {
         }
         self.state[idx] = JobState::Cancelled;
         self.cancelled_count += 1;
+        if let Some(ts) = &mut self.tenants {
+            ts.on_cancel(idx, self.procs_eff[idx], was);
+        }
         if self.record_events {
             self.events.push(SimEvent::Cancelled {
                 id,
@@ -377,6 +467,30 @@ impl SimSession {
     #[must_use]
     pub fn plan_walltime(&self, id: u64) -> Option<Duration> {
         self.by_id.get(&id).map(|&idx| self.plan_wall[idx])
+    }
+
+    /// The tenant table, when tenancy is enabled.
+    #[must_use]
+    pub fn tenant_table(&self) -> Option<&TenantTable> {
+        self.tenants.as_ref().map(|ts| &ts.table)
+    }
+
+    /// Owning tenant of job `id` (first submission wins when ids
+    /// collide). `None` for unknown ids or when tenancy is off.
+    #[must_use]
+    pub fn tenant_of(&self, id: u64) -> Option<TenantId> {
+        let ts = self.tenants.as_ref()?;
+        self.by_id.get(&id).map(|&idx| ts.tenant_of[idx])
+    }
+
+    /// Point-in-time per-tenant usage in table order, or `None` when
+    /// tenancy is off. Summed `used_units` always equals the cluster's
+    /// used units — every job is owned by exactly one tenant.
+    #[must_use]
+    pub fn tenant_usage(&self) -> Option<Vec<TenantUsage>> {
+        self.tenants
+            .as_ref()
+            .map(|ts| ts.usage(self.cluster.total_capacity()))
     }
 
     /// Time of the next arrival or completion, if any work remains.
@@ -458,6 +572,8 @@ impl SimSession {
             max_queue_total: self.max_queue_total,
             events: self.events.clone(),
             record_events: self.record_events,
+            tenants: self.tenants.as_ref().map(|ts| ts.table.clone()),
+            tenant_of: self.tenants.as_ref().map(|ts| ts.tenant_of.clone()),
         }
     }
 
@@ -487,6 +603,8 @@ impl SimSession {
             max_queue_total,
             events,
             record_events,
+            tenants,
+            tenant_of,
         } = state;
         let mut s = Self::new(system, config);
         let n = jobs.len();
@@ -556,6 +674,20 @@ impl SimSession {
         s.plan_wall = plan_wall;
         s.promised = promised;
         s.state = states;
+        s.tenants = match (tenants, tenant_of) {
+            (None, None) => None,
+            (Some(table), Some(owners)) => {
+                let runtimes: Vec<Duration> = s.jobs.iter().map(|j| j.runtime).collect();
+                let ts = TenantState::rebuild(table, owners, &s.state, &s.procs_eff, &runtimes)
+                    .map_err(CoreError::InvalidSnapshot)?;
+                Some(ts)
+            }
+            _ => {
+                return Err(CoreError::InvalidSnapshot(
+                    "tenant table and tenant_of must be saved together".into(),
+                ))
+            }
+        };
         pending.sort_unstable_by_key(|&i| (s.jobs[i].submit, s.jobs[i].id));
         s.pending = pending.into();
         for (part, mut queue) in waiting.into_iter().enumerate() {
@@ -644,6 +776,9 @@ impl SimSession {
             self.cluster.partition_mut(part).finish(idx);
             self.state[idx] = JobState::Finished;
             self.finished_count += 1;
+            if let Some(ts) = &mut self.tenants {
+                ts.on_finish(idx, self.procs_eff[idx]);
+            }
             if self.record_events {
                 self.events.push(SimEvent::Finished {
                     id: self.jobs[idx].id,
@@ -662,6 +797,9 @@ impl SimSession {
             self.pending.pop_front();
             let part = self.part_of[idx];
             self.state[idx] = JobState::Waiting;
+            if let Some(ts) = &mut self.tenants {
+                ts.on_arrive(idx);
+            }
             self.enqueue(part, idx);
             if !dirty.contains(&part) {
                 dirty.push(part);
@@ -712,6 +850,9 @@ impl SimSession {
             finish: now + job.runtime,
         };
         self.state[idx] = JobState::Running;
+        if let Some(ts) = &mut self.tenants {
+            ts.on_start(idx, self.procs_eff[idx], self.jobs[idx].runtime);
+        }
         self.cluster.partition_mut(part).start(running);
         self.finish_heap.push(Reverse((running.finish, idx)));
         if let Some(promise) = self.promised[idx] {
@@ -727,10 +868,55 @@ impl SimSession {
         }
     }
 
-    /// One scheduling pass on a partition.
-    fn schedule(&mut self, part: usize, now: Timestamp) {
-        // Start from the head while it fits.
+    /// Re-sorts a partition's waiting queue by live tenant share under
+    /// fair-share policies; a no-op otherwise (static-key order from
+    /// [`SimSession::enqueue`] is already correct). Shares move whenever
+    /// a job starts or finishes, so every scheduling decision re-derives
+    /// the order: `(share, key, submit, id, index)` — the static key and
+    /// tie-breaks keep the ordering total and deterministic.
+    fn fair_resort(&mut self, part: usize) {
+        if !self.config.policy.is_fair_share() {
+            return;
+        }
+        let Some(ts) = &self.tenants else {
+            // Without a tenant table every job shares one implicit
+            // tenant, so fair-share degrades to the static FCFS key —
+            // the order the queue is already in.
+            return;
+        };
+        let shares = ts.shares(
+            self.cluster.total_capacity(),
+            self.config.policy.is_weighted(),
+        );
+        let jobs = &self.jobs;
+        let key_of = &self.key_of;
+        let tenant_of = &ts.tenant_of;
+        let waiting = &mut self.cluster.partition_mut(part).waiting;
+        waiting.sort_unstable_by(|&a, &b| {
+            let ka = (
+                shares[usize::from(tenant_of[a])],
+                key_of[a],
+                jobs[a].submit,
+                jobs[a].id,
+                a,
+            );
+            let kb = (
+                shares[usize::from(tenant_of[b])],
+                key_of[b],
+                jobs[b].submit,
+                jobs[b].id,
+                b,
+            );
+            ka.partial_cmp(&kb).expect("shares and keys are finite")
+        });
+    }
+
+    /// Starts jobs from the head of the queue while the head fits,
+    /// re-deriving fair-share order before each decision (each start
+    /// moves the shares, which may change who the head *is*).
+    fn start_head_while_fits(&mut self, part: usize, now: Timestamp) {
         loop {
+            self.fair_resort(part);
             let p = self.cluster.partition(part);
             match p.waiting.first() {
                 Some(&head) if self.procs_eff[head] <= p.free => {
@@ -740,6 +926,12 @@ impl SimSession {
                 _ => break,
             }
         }
+    }
+
+    /// One scheduling pass on a partition.
+    fn schedule(&mut self, part: usize, now: Timestamp) {
+        // Start from the head while it fits.
+        self.start_head_while_fits(part, now);
         let qlen = self.cluster.partition(part).waiting.len();
         if qlen == 0 {
             return;
@@ -836,16 +1028,7 @@ impl SimSession {
             }
             // Free capacity changed; head might have become startable via
             // cascaded completions elsewhere — re-run the head loop.
-            loop {
-                let p = self.cluster.partition(part);
-                match p.waiting.first() {
-                    Some(&h) if self.procs_eff[h] <= p.free => {
-                        self.cluster.partition_mut(part).waiting.remove(0);
-                        self.start(part, h, now);
-                    }
-                    _ => break,
-                }
-            }
+            self.start_head_while_fits(part, now);
             if self.cluster.partition(part).waiting.is_empty() {
                 break;
             }

@@ -1,0 +1,74 @@
+//! Fairness metrics for multi-tenant allocations.
+//!
+//! The serving layer reports Jain's fairness index over per-tenant
+//! delivered service so operators can see, in one number, how evenly a
+//! policy splits the machine (Jain, Chiu & Hawe, 1984).
+
+/// Jain's fairness index: `(Σx)² / (n · Σx²)`.
+///
+/// Ranges over `(0, 1]` for non-negative allocations with at least one
+/// positive entry: `1.0` means perfectly even, `1/n` means one party
+/// holds everything. Degenerate inputs — an empty slice or all-zero
+/// allocations — report `1.0` (nobody is being treated unevenly when
+/// nothing has been allocated). Negative or non-finite entries are
+/// rejected as `None` rather than silently folded in.
+#[must_use]
+pub fn jain_index(allocations: &[f64]) -> Option<f64> {
+    if allocations
+        .iter()
+        .any(|x| !x.is_finite() || x.is_sign_negative() && *x != 0.0)
+    {
+        return None;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return Some(1.0);
+    }
+    Some(sum * sum / (allocations.len() as f64 * sum_sq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_allocation_is_one() {
+        let j = jain_index(&[5.0, 5.0, 5.0, 5.0]).unwrap();
+        assert!((j - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hog_is_one_over_n() {
+        let j = jain_index(&[12.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_lands_between_extremes() {
+        let j = jain_index(&[90.0, 10.0]).unwrap();
+        // (100)^2 / (2 * (8100 + 100)) = 10000 / 16400
+        assert!((j - 10_000.0 / 16_400.0).abs() < 1e-12);
+        assert!(j > 0.5 && j < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_report_one() {
+        assert_eq!(jain_index(&[]), Some(1.0));
+        assert_eq!(jain_index(&[0.0, 0.0]), Some(1.0));
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert_eq!(jain_index(&[1.0, -2.0]), None);
+        assert_eq!(jain_index(&[f64::NAN]), None);
+        assert_eq!(jain_index(&[f64::INFINITY, 1.0]), None);
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 3.0]).unwrap();
+        let b = jain_index(&[10.0, 20.0, 30.0]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+}

@@ -13,7 +13,8 @@
 //! * [`kde`] — Gaussian kernel density estimates (violin plots, Figs. 1a & 11),
 //! * [`summary::Summary`] — Welford streaming moments,
 //! * [`streaming::P2Quantile`] — P² streaming quantiles (O(1) memory),
-//! * [`correlation`] — Pearson and Spearman coefficients.
+//! * [`correlation`] — Pearson and Spearman coefficients,
+//! * [`fairness`] — Jain's fairness index over per-tenant allocations.
 //!
 //! All randomness in the workspace flows through [`rng::Rng`] so that a
 //! `u64` seed fully determines every trace, simulation, and model fit.
@@ -24,6 +25,7 @@
 pub mod correlation;
 pub mod dist;
 pub mod ecdf;
+pub mod fairness;
 pub mod histogram;
 pub mod kde;
 pub mod quantile;
@@ -33,6 +35,7 @@ pub mod summary;
 
 pub use dist::{Discrete, Exponential, LogNormal, Mixture, Pareto, Sampler, Uniform, Weibull};
 pub use ecdf::Ecdf;
+pub use fairness::jain_index;
 pub use histogram::{Histogram, LogHistogram};
 pub use kde::{Kde, ViolinSummary};
 pub use quantile::{median, quantile, quantiles};

@@ -59,6 +59,7 @@ fn online_replay_matches_batch_simulate() {
         time_scale: 0.0, // virtual time: deterministic, Advance-driven
         journal: None,
         predictor: None,
+        tenants: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr");
@@ -148,6 +149,7 @@ fn backpressure_rejects_instead_of_blocking() {
         time_scale: 0.0,
         journal: None,
         predictor: None,
+        tenants: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr");
@@ -185,6 +187,7 @@ fn protocol_errors_name_the_line_and_field() {
         time_scale: 0.0,
         journal: None,
         predictor: None,
+        tenants: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr");

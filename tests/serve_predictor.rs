@@ -82,6 +82,7 @@ fn serve_trace(trace: &Trace, sim: SimConfig, predictor: PredictorConfig) -> (Va
         time_scale: 0.0,
         journal: None,
         predictor: Some(predictor),
+        tenants: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr");

@@ -162,6 +162,7 @@ fn reference_responses_with(
         time_scale: 0.0,
         journal: None,
         predictor,
+        tenants: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind reference");
     let addr = server.local_addr().expect("local addr").to_string();
