@@ -1,41 +1,192 @@
 //! Simulator throughput: jobs/second through the event engine under each
-//! backfilling discipline — the performance envelope that makes the
-//! parameter sweeps in Table II and the ablations tractable.
+//! backfilling discipline, plus the sequential-vs-parallel timing of the
+//! Table II sweep — the performance envelope that makes the paper's
+//! parameter studies tractable.
+//!
+//! Unlike the figure benches this harness measures wall-clock itself (the
+//! vendored criterion stub does not expose measured durations) and can
+//! emit / gate against the machine-readable `BENCH_sim.json` report:
+//!
+//! * `BENCH_QUICK=1` — reduced configuration (1-day trace, fewer
+//!   samples); what CI's `bench-smoke` job runs.
+//! * `BENCH_SIM_OUT=path` — write the report as JSON to `path`.
+//! * `BENCH_SIM_BASELINE=path` — compare against a committed baseline
+//!   and exit non-zero on a regression beyond the tolerance.
+//! * `BENCH_SIM_TOLERANCE=0.20` — override the regression tolerance.
+//! * `BENCH_REQUIRE_SPEEDUP=2.0` — fail unless the parallel sweep hits
+//!   the given speedup (only enforced on hosts with ≥ 4 threads).
+//!
+//! See `docs/PERFORMANCE.md` for the full methodology.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lumos_bench::perf::{policy_perf, PerfReport, SweepPerf, DEFAULT_TOLERANCE, PERF_SCHEMA};
+use lumos_bench::table2::{run_system, table2_cells};
 use lumos_core::SystemId;
 use lumos_sim::{simulate, Backfill, SimConfig};
 use lumos_traces::{systems, Generator, GeneratorConfig};
+use rayon::prelude::*;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench(c: &mut Criterion) {
+const SEED: u64 = 1;
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Resolves a `BENCH_SIM_*` path. Cargo runs benches with the *package*
+/// directory as cwd, so relative paths are anchored at the workspace root
+/// (two levels up from `crates/bench`) — where `BENCH_sim.json` lives and
+/// where CI invokes everything from.
+fn resolve(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
+/// Best-of-`samples` wall-clock seconds for `f` (after one warmup call).
+fn best_of<R>(samples: u32, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f()); // warmup: touch the allocator, fault the trace in
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let quick = env_flag("BENCH_QUICK");
+    let (span_days, samples) = if quick { (1, 5) } else { (2, 7) };
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
     // Helios: tens of thousands of small jobs per day — the stress case.
     let trace = Generator::new(
         systems::profile_for(SystemId::Helios),
         GeneratorConfig {
-            seed: 1,
-            span_days: 1,
+            seed: SEED,
+            span_days,
             ..GeneratorConfig::default()
         },
     )
     .generate();
-    println!("\nsim_throughput workload: {} Helios jobs", trace.len());
+    println!(
+        "\nsim_throughput workload: {} Helios jobs over {span_days} day(s), \
+         best of {samples}, {host_threads} host thread(s){}",
+        trace.len(),
+        if quick { ", quick profile" } else { "" },
+    );
 
-    let mut g = c.benchmark_group("sim_throughput");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(trace.len() as u64));
+    let mut policies = Vec::new();
     for backfill in [Backfill::None, Backfill::Easy, Backfill::Conservative] {
         let cfg = SimConfig {
             backfill,
             record_timeline: false,
             ..SimConfig::default()
         };
-        g.bench_function(backfill.name(), |b| {
-            b.iter(|| black_box(simulate(black_box(&trace), &cfg)))
-        });
+        let events = simulate(&trace, &cfg).events;
+        let seconds = best_of(samples, || simulate(&trace, &cfg));
+        let perf = policy_perf(backfill.name(), trace.len(), events, seconds);
+        println!(
+            "  {:<14} {:>9.0} jobs/sec  {:>9.0} events/sec  ({:.3}s)",
+            perf.policy, perf.jobs_per_sec, perf.events_per_sec, perf.seconds
+        );
+        policies.push(perf);
     }
-    g.finish();
-}
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+    // Parallel sweep: the Table II grid, pool pinned to 1 thread vs the
+    // host's full count. Vacuous on a single-threaded host — skipped.
+    let sweep = (host_threads > 1).then(|| {
+        let cells = table2_cells(0.10);
+        let sweep_days = 1;
+        let run_all = || -> Vec<_> {
+            cells
+                .par_iter()
+                .map(|&(id, relax)| run_system(id, SEED, sweep_days, relax))
+                .collect()
+        };
+        let pool = |n| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("pool builds")
+        };
+        let seq_seconds = best_of(1, || pool(1).install(run_all));
+        let par_seconds = best_of(1, || pool(host_threads).install(run_all));
+        let sweep = SweepPerf {
+            tasks: cells.len(),
+            threads: host_threads,
+            seq_seconds,
+            par_seconds,
+            speedup: seq_seconds / par_seconds.max(1e-9),
+        };
+        println!(
+            "  table2 sweep   {} cells: {:.3}s @1 thread, {:.3}s @{} threads — {:.2}x",
+            sweep.tasks, sweep.seq_seconds, sweep.par_seconds, sweep.threads, sweep.speedup
+        );
+        sweep
+    });
+    if sweep.is_none() {
+        println!("  table2 sweep   skipped: single-threaded host");
+    }
+
+    let report = PerfReport {
+        schema: PERF_SCHEMA,
+        seed: SEED,
+        span_days,
+        workload_jobs: trace.len(),
+        host_threads,
+        quick,
+        policies,
+        sweep,
+    };
+
+    if let Ok(path) = std::env::var("BENCH_SIM_OUT") {
+        std::fs::write(resolve(&path), report.to_json()).expect("write BENCH_SIM_OUT");
+        println!("  report written to {path}");
+    }
+
+    let mut failed = false;
+    if let Ok(path) = std::env::var("BENCH_SIM_BASELINE") {
+        let text = std::fs::read_to_string(resolve(&path)).expect("read BENCH_SIM_BASELINE");
+        let baseline = PerfReport::from_json(&text).expect("parse baseline report");
+        let tolerance = env_f64("BENCH_SIM_TOLERANCE").unwrap_or(DEFAULT_TOLERANCE);
+        let findings = report.regressions(&baseline, tolerance);
+        if findings.is_empty() {
+            println!(
+                "  gate: no regression vs {path} (tolerance {:.0}%)",
+                tolerance * 100.0
+            );
+        } else {
+            for f in &findings {
+                eprintln!("  REGRESSION: {f}");
+            }
+            failed = true;
+        }
+    }
+    if let Some(required) = env_f64("BENCH_REQUIRE_SPEEDUP") {
+        match &report.sweep {
+            Some(s) if report.host_threads >= 4 && s.speedup < required => {
+                eprintln!(
+                    "  REGRESSION: sweep speedup {:.2}x below required {required:.2}x \
+                     on {} threads",
+                    s.speedup, s.threads
+                );
+                failed = true;
+            }
+            _ => {}
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod fig12;
+pub mod perf;
 pub mod render;
 pub mod table2;
 

@@ -1,0 +1,252 @@
+//! Machine-readable simulator performance reports.
+//!
+//! `BENCH_sim.json` at the repository root is the committed performance
+//! baseline: the `sim_throughput` bench regenerates it
+//! (`BENCH_SIM_OUT=BENCH_sim.json cargo bench -p lumos-bench --bench
+//! sim_throughput`) and CI's `bench-smoke` job replays a reduced
+//! configuration against it, failing the build when scheduled-jobs/sec
+//! drops by more than [`DEFAULT_TOLERANCE`]. This module owns the report
+//! schema, its JSON round-trip, and the regression comparison — see
+//! `docs/PERFORMANCE.md` for the methodology.
+
+use serde::{Deserialize, Serialize};
+
+/// Relative slowdown tolerated before the CI gate fails (0.20 = 20%).
+///
+/// Wide on purpose: the gate runs on shared CI runners whose absolute
+/// speed varies run to run. It exists to catch algorithmic regressions
+/// (2×, 10×), not percent-level noise.
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// Report schema version; bump when fields change incompatibly.
+pub const PERF_SCHEMA: u32 = 1;
+
+/// Throughput of one batch replay under one backfill discipline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyPerf {
+    /// Backfill discipline name (`none` / `easy` / `conservative`).
+    pub policy: String,
+    /// Jobs scheduled in the measured replay.
+    pub jobs: usize,
+    /// Discrete events (arrivals + completions) the engine processed.
+    pub events: u64,
+    /// Best-of-N wall-clock seconds for one full replay.
+    pub seconds: f64,
+    /// Scheduled jobs per second (`jobs / seconds`).
+    pub jobs_per_sec: f64,
+    /// Engine events per second (`events / seconds`).
+    pub events_per_sec: f64,
+}
+
+/// Sequential-vs-parallel timing of the Table II sweep (the
+/// embarrassingly-parallel outer loop the work-stealing pool speeds up).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPerf {
+    /// Independent simulation cells in the sweep.
+    pub tasks: usize,
+    /// Worker threads the parallel run used.
+    pub threads: usize,
+    /// Wall-clock seconds with the pool pinned to one thread.
+    pub seq_seconds: f64,
+    /// Wall-clock seconds at the full thread count.
+    pub par_seconds: f64,
+    /// `seq_seconds / par_seconds`.
+    pub speedup: f64,
+}
+
+/// One `BENCH_sim.json`: per-policy replay throughput plus the parallel
+/// sweep measurement, with enough context to interpret the numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Schema version ([`PERF_SCHEMA`]).
+    pub schema: u32,
+    /// Trace generator seed.
+    pub seed: u64,
+    /// Trace window in days.
+    pub span_days: u32,
+    /// Jobs in the workload trace.
+    pub workload_jobs: usize,
+    /// Hardware threads available on the measuring host.
+    pub host_threads: usize,
+    /// Whether this was the reduced (`BENCH_QUICK`) configuration.
+    pub quick: bool,
+    /// Per-backfill-discipline replay throughput.
+    pub policies: Vec<PolicyPerf>,
+    /// Parallel sweep timing (absent when the host has one thread and the
+    /// comparison would be vacuous).
+    pub sweep: Option<SweepPerf>,
+}
+
+impl PerfReport {
+    /// Serializes to pretty JSON (the `BENCH_sim.json` format).
+    ///
+    /// # Panics
+    /// Never — the report contains no unserializable values.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    /// Returns the underlying JSON error on malformed input.
+    pub fn from_json(text: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(text)
+    }
+
+    /// Compares this (current) report against a committed `baseline`.
+    ///
+    /// Returns one human-readable finding per policy whose
+    /// jobs-per-second throughput fell more than `tolerance` below the
+    /// baseline, or that disappeared from the current report. An empty
+    /// vector means the gate passes. Faster-than-baseline is never a
+    /// finding, and policies new in the current report are ignored (they
+    /// gate once the baseline is regenerated).
+    /// Comparing reports measured under different configurations (schema,
+    /// profile, seed, window, workload) is apples-to-oranges and reported
+    /// as a finding instead of silently producing nonsense.
+    #[must_use]
+    pub fn regressions(&self, baseline: &Self, tolerance: f64) -> Vec<String> {
+        let mut findings = Vec::new();
+        let ours = (
+            self.schema,
+            self.quick,
+            self.seed,
+            self.span_days,
+            self.workload_jobs,
+        );
+        let theirs = (
+            baseline.schema,
+            baseline.quick,
+            baseline.seed,
+            baseline.span_days,
+            baseline.workload_jobs,
+        );
+        if ours != theirs {
+            findings.push(format!(
+                "configuration mismatch: current (schema, quick, seed, days, jobs) = \
+                 {ours:?} but baseline = {theirs:?}; regenerate the baseline"
+            ));
+            return findings;
+        }
+        for base in &baseline.policies {
+            let Some(cur) = self.policies.iter().find(|p| p.policy == base.policy) else {
+                findings.push(format!(
+                    "policy `{}` present in baseline but missing from current report",
+                    base.policy
+                ));
+                continue;
+            };
+            let floor = base.jobs_per_sec * (1.0 - tolerance);
+            if cur.jobs_per_sec < floor {
+                findings.push(format!(
+                    "policy `{}` regressed: {:.0} jobs/sec vs baseline {:.0} \
+                     (floor {:.0} at {:.0}% tolerance)",
+                    base.policy,
+                    cur.jobs_per_sec,
+                    base.jobs_per_sec,
+                    floor,
+                    tolerance * 100.0
+                ));
+            }
+        }
+        findings
+    }
+}
+
+/// Builds a [`PolicyPerf`] from a measured replay.
+#[must_use]
+pub fn policy_perf(policy: &str, jobs: usize, events: u64, seconds: f64) -> PolicyPerf {
+    // Guard against a sub-resolution timer reading; throughput from a
+    // zero-length measurement is meaningless, not infinite.
+    let secs = seconds.max(1e-9);
+    PolicyPerf {
+        policy: policy.to_string(),
+        jobs,
+        events,
+        seconds,
+        jobs_per_sec: jobs as f64 / secs,
+        events_per_sec: events as f64 / secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rates: &[(&str, f64)]) -> PerfReport {
+        PerfReport {
+            schema: PERF_SCHEMA,
+            seed: 1,
+            span_days: 1,
+            workload_jobs: 1000,
+            host_threads: 4,
+            quick: true,
+            policies: rates
+                .iter()
+                .map(|&(name, rate)| policy_perf(name, (rate * 2.0) as usize, 0, 2.0))
+                .collect(),
+            sweep: None,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_report() {
+        let mut r = report(&[("easy", 5000.0), ("conservative", 800.0)]);
+        r.sweep = Some(SweepPerf {
+            tasks: 6,
+            threads: 4,
+            seq_seconds: 8.0,
+            par_seconds: 2.5,
+            speedup: 3.2,
+        });
+        let parsed = PerfReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = report(&[("easy", 1000.0)]);
+        let cur = report(&[("easy", 850.0)]);
+        assert!(cur.regressions(&base, 0.20).is_empty());
+    }
+
+    #[test]
+    fn beyond_tolerance_fails() {
+        let base = report(&[("easy", 1000.0), ("none", 9000.0)]);
+        let cur = report(&[("easy", 700.0), ("none", 9500.0)]);
+        let findings = cur.regressions(&base, 0.20);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("`easy`"), "{findings:?}");
+    }
+
+    #[test]
+    fn missing_policy_is_a_finding_but_new_policy_is_not() {
+        let base = report(&[("easy", 1000.0)]);
+        let cur = report(&[("conservative", 1000.0)]);
+        let findings = cur.regressions(&base, 0.20);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("missing"), "{findings:?}");
+    }
+
+    #[test]
+    fn mismatched_configurations_refuse_to_compare() {
+        let base = report(&[("easy", 1000.0)]);
+        let mut cur = report(&[("easy", 1000.0)]);
+        cur.span_days = 7;
+        let findings = cur.regressions(&base, 0.20);
+        assert_eq!(findings.len(), 1);
+        assert!(
+            findings[0].contains("configuration mismatch"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn zero_second_measurements_do_not_divide_by_zero() {
+        let p = policy_perf("easy", 100, 200, 0.0);
+        assert!(p.jobs_per_sec.is_finite());
+        assert!(p.events_per_sec.is_finite());
+    }
+}

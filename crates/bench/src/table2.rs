@@ -86,21 +86,47 @@ pub fn run_system(id: SystemId, seed: u64, days: u32, relax: Relax) -> SimMetric
     simulate(&trace, &cfg).metrics
 }
 
+/// The independent simulation cells of the Table II grid: every
+/// `(system, relaxation rule)` pair, fixed rule first. Exposed so the
+/// throughput bench can time exactly the sweep `run_table2` parallelizes.
+#[must_use]
+pub fn table2_cells(base_factor: f64) -> Vec<(SystemId, Relax)> {
+    TABLE2_SYSTEMS
+        .iter()
+        .flat_map(|&id| {
+            [
+                (
+                    id,
+                    Relax::Fixed {
+                        factor: base_factor,
+                    },
+                ),
+                (id, Relax::Adaptive { base: base_factor }),
+            ]
+        })
+        .collect()
+}
+
 /// Regenerates Table II.
+///
+/// Fans the work-stealing pool over all six `(system, rule)` cells rather
+/// than three system tasks of two sequential runs each: every cell is an
+/// independent simulation, so the critical path is one cell, not two.
+/// Results are reassembled by index, which keeps the output deterministic
+/// and identical at any thread count.
 #[must_use]
 pub fn run_table2(seed: u64, days: u32, base_factor: f64) -> Vec<Table2Row> {
-    TABLE2_SYSTEMS
+    let cells = table2_cells(base_factor);
+    let metrics: Vec<SimMetrics> = cells
         .par_iter()
-        .map(|&id| {
-            let relaxed = run_system(
-                id,
-                seed,
-                days,
-                Relax::Fixed {
-                    factor: base_factor,
-                },
-            );
-            let adaptive = run_system(id, seed, days, Relax::Adaptive { base: base_factor });
+        .map(|&(id, relax)| run_system(id, seed, days, relax))
+        .collect();
+    TABLE2_SYSTEMS
+        .iter()
+        .enumerate()
+        .map(|(i, id)| {
+            let relaxed = metrics[2 * i].clone();
+            let adaptive = metrics[2 * i + 1].clone();
             Table2Row {
                 system: id.name().to_string(),
                 jobs: relaxed.jobs,
@@ -144,6 +170,33 @@ mod tests {
             assert!(r.relaxed.util > 0.0);
             assert!(r.adaptive.util > 0.0);
         }
+    }
+
+    #[test]
+    fn table2_is_byte_identical_across_thread_counts() {
+        // The determinism contract the docs promise: fanning the grid over
+        // the work-stealing pool must not change a single output byte,
+        // whatever the thread count.
+        let at = |threads: usize| {
+            let rows = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| run_table2(7, 1, 0.10));
+            serde_json::to_string(&rows).unwrap()
+        };
+        let one = at(1);
+        assert_eq!(one, at(2));
+        assert_eq!(one, at(8));
+    }
+
+    #[test]
+    fn cells_enumerate_the_grid_fixed_first() {
+        let cells = table2_cells(0.10);
+        assert_eq!(cells.len(), 2 * TABLE2_SYSTEMS.len());
+        assert_eq!(cells[0].0, TABLE2_SYSTEMS[0]);
+        assert!(matches!(cells[0].1, Relax::Fixed { .. }));
+        assert!(matches!(cells[1].1, Relax::Adaptive { .. }));
     }
 
     #[test]

@@ -7,6 +7,8 @@
 
 use lumos_core::{SystemSpec, Timestamp};
 
+use crate::profile::CapacityProfile;
+
 /// A job currently executing on a partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunningJob {
@@ -30,13 +32,18 @@ pub struct Partition {
     /// Currently free units.
     pub free: u64,
     /// Jobs currently executing, sorted ascending by
-    /// `(end_estimate, table index)`. The shadow-time computation walks
-    /// this in end order on *every* scheduling pass, so the ordering is
-    /// maintained incrementally instead of re-sorting thousands of running
-    /// jobs per event.
+    /// `(end_estimate, table index)`. Kept end-sorted incrementally so the
+    /// scheduler can find jobs running past their estimate with a prefix
+    /// scan instead of re-sorting thousands of running jobs per event.
     running: Vec<RunningJob>,
     /// Indices of waiting jobs, kept sorted by scheduling priority.
     pub waiting: Vec<usize>,
+    /// Incrementally maintained free-capacity skyline: every start carves
+    /// its planned interval out ([`CapacityProfile::reserve`]), every
+    /// completion hands the unused tail back
+    /// ([`CapacityProfile::unreserve`]). Replaces the per-pass
+    /// rebuild-from-the-running-set the backfill disciplines used to pay.
+    skyline: CapacityProfile,
 }
 
 impl Partition {
@@ -46,6 +53,7 @@ impl Partition {
             free: capacity,
             running: Vec::new(),
             waiting: Vec::new(),
+            skyline: CapacityProfile::new(Timestamp::MIN, capacity),
         }
     }
 
@@ -55,25 +63,46 @@ impl Partition {
         &self.running
     }
 
-    /// Starts a job: allocates units and registers the running record in
-    /// end-estimate order.
+    /// The incrementally maintained free-capacity skyline. Counts each
+    /// running job as busy over `[start, end_estimate)` only; jobs running
+    /// *past* their estimate have already been handed back, so scheduling
+    /// passes overlay their units on `[now, now+1)` before querying (see
+    /// `SimSession::schedule`).
+    #[must_use]
+    pub fn skyline(&self) -> &CapacityProfile {
+        &self.skyline
+    }
+
+    /// Mutable skyline access for the scheduling pass (prune + the
+    /// transient overrun overlay).
+    pub(crate) fn skyline_mut(&mut self) -> &mut CapacityProfile {
+        &mut self.skyline
+    }
+
+    /// Starts a job at `now`: allocates units, registers the running record
+    /// in end-estimate order, and carves `[now, end_estimate)` out of the
+    /// skyline.
     ///
     /// # Panics
     /// Panics (debug) if the job does not fit.
-    pub fn start(&mut self, job: RunningJob) {
+    pub fn start(&mut self, job: RunningJob, now: Timestamp) {
         debug_assert!(job.procs <= self.free, "starting a job that does not fit");
         self.free -= job.procs;
         let pos = self
             .running
             .partition_point(|r| (r.end_estimate, r.idx) < (job.end_estimate, job.idx));
         self.running.insert(pos, job);
+        self.skyline.reserve(now, job.end_estimate, job.procs);
     }
 
-    /// Completes the running job with table index `idx`, freeing its units.
+    /// Completes the running job with table index `idx` at `now`, freeing
+    /// its units and returning the unused tail of its skyline reservation
+    /// (a no-op for jobs that overran their estimate — their reservation
+    /// already expired).
     ///
     /// # Panics
     /// Panics if no such job is running.
-    pub fn finish(&mut self, idx: usize) -> RunningJob {
+    pub fn finish(&mut self, idx: usize, now: Timestamp) -> RunningJob {
         let pos = self
             .running
             .iter()
@@ -81,6 +110,7 @@ impl Partition {
             .expect("finishing a job that is not running");
         let job = self.running.remove(pos);
         self.free += job.procs;
+        self.skyline.unreserve(now, job.end_estimate, job.procs);
         job
     }
 }
@@ -220,22 +250,29 @@ mod tests {
     fn start_and_finish_manage_units() {
         let mut c = Cluster::new(&SystemSpec::theta(), true);
         let p = c.partition_mut(0);
-        p.start(RunningJob {
-            idx: 7,
-            procs: 100,
-            end_estimate: 50,
-            finish: 40,
-        });
+        p.start(
+            RunningJob {
+                idx: 7,
+                procs: 100,
+                end_estimate: 50,
+                finish: 40,
+            },
+            0,
+        );
         assert_eq!(p.free, p.capacity - 100);
-        let done = p.finish(7);
+        assert_eq!(p.skyline().free_at(0), p.capacity - 100);
+        assert_eq!(p.skyline().free_at(50), p.capacity);
+        let done = p.finish(7, 40);
         assert_eq!(done.idx, 7);
         assert_eq!(p.free, p.capacity);
+        // The unused tail [40, 50) came back.
+        assert_eq!(p.skyline().free_at(40), p.capacity);
     }
 
     #[test]
     #[should_panic(expected = "not running")]
     fn finishing_unknown_job_panics() {
         let mut c = Cluster::new(&SystemSpec::theta(), true);
-        let _ = c.partition_mut(0).finish(3);
+        let _ = c.partition_mut(0).finish(3, 0);
     }
 }

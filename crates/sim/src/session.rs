@@ -193,6 +193,10 @@ pub struct SimSession {
     events: Vec<SimEvent>,
     finished_count: usize,
     cancelled_count: usize,
+    /// Discrete events processed since construction (arrivals +
+    /// completions). Observability only — not part of the saved state, so
+    /// a restored session restarts the count at zero.
+    events_processed: u64,
     /// Tenant table + per-tenant accounting; `None` when tenancy is off.
     tenants: Option<TenantState>,
 }
@@ -227,6 +231,7 @@ impl SimSession {
             events: Vec::new(),
             finished_count: 0,
             cancelled_count: 0,
+            events_processed: 0,
             tenants: None,
         }
     }
@@ -710,7 +715,10 @@ impl SimSession {
                         s.jobs[r.idx].id, r.procs, p.free
                     )));
                 }
-                p.start(r);
+                // Re-anchoring the reservation at the restored clock keeps
+                // exactly the future part `[clock, end_estimate)`; the
+                // consumed prefix is history the skyline never queries.
+                p.start(r, clock);
                 s.finish_heap.push(Reverse((r.finish, r.idx)));
             }
         }
@@ -722,6 +730,12 @@ impl SimSession {
         s.events = events;
         s.record_events = record_events;
         Ok(s)
+    }
+
+    /// Discrete events (arrivals + completions) processed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Finishes all outstanding work and folds the session into a
@@ -748,12 +762,50 @@ impl SimSession {
             SimMetrics::compute(&jobs, capacity, self.config.bsld_bound, &self.violations);
         SimResult {
             metrics,
+            events: self.events_processed,
             timeline: UtilizationTimeline {
                 capacity,
                 points: self.timeline,
             },
             max_queue_len: self.max_queue_total,
             jobs,
+        }
+    }
+
+    /// Asserts that every partition's incrementally maintained skyline is
+    /// point-for-point identical to a from-scratch rebuild from the
+    /// running set — the invariant the whole incremental-profile refactor
+    /// rests on. Test hook for the differential property suite; panics
+    /// with context on divergence.
+    #[doc(hidden)]
+    pub fn assert_profiles_match_rebuild(&self) {
+        let now = self.clock;
+        for part in 0..self.cluster.partition_count() {
+            let p = self.cluster.partition(part);
+            // Pass view of the maintained skyline: prune history, overlay
+            // overrunning jobs on [now, now+1) — what a scheduling pass at
+            // `now` would query.
+            let mut sky = p.skyline().clone();
+            sky.prune_to(now);
+            let overrun: u64 = p
+                .running()
+                .iter()
+                .take_while(|r| r.end_estimate <= now)
+                .map(|r| r.procs)
+                .sum();
+            sky.reserve(now, now + 1, overrun);
+            let rebuilt = CapacityProfile::from_sorted_running(
+                now,
+                p.capacity,
+                p.running()
+                    .iter()
+                    .map(|r| (r.end_estimate.max(now + 1), r.procs)),
+            );
+            assert_eq!(
+                sky.points(),
+                rebuilt.points(),
+                "partition {part}: incremental skyline diverged from rebuild at t={now}"
+            );
         }
     }
 
@@ -772,8 +824,9 @@ impl SimSession {
                 break;
             }
             self.finish_heap.pop();
+            self.events_processed += 1;
             let part = self.part_of[idx];
-            self.cluster.partition_mut(part).finish(idx);
+            self.cluster.partition_mut(part).finish(idx, now);
             self.state[idx] = JobState::Finished;
             self.finished_count += 1;
             if let Some(ts) = &mut self.tenants {
@@ -795,6 +848,7 @@ impl SimSession {
                 break;
             }
             self.pending.pop_front();
+            self.events_processed += 1;
             let part = self.part_of[idx];
             self.state[idx] = JobState::Waiting;
             if let Some(ts) = &mut self.tenants {
@@ -853,7 +907,7 @@ impl SimSession {
         if let Some(ts) = &mut self.tenants {
             ts.on_start(idx, self.procs_eff[idx], self.jobs[idx].runtime);
         }
-        self.cluster.partition_mut(part).start(running);
+        self.cluster.partition_mut(part).start(running, now);
         self.finish_heap.push(Reverse((running.finish, idx)));
         if let Some(promise) = self.promised[idx] {
             self.violations.push((promise, now));
@@ -930,6 +984,10 @@ impl SimSession {
 
     /// One scheduling pass on a partition.
     fn schedule(&mut self, part: usize, now: Timestamp) {
+        // Drop skyline breakpoints the clock has passed — amortized O(1)
+        // per event, and what keeps every later skyline operation
+        // logarithmic in the number of *future* end estimates.
+        self.cluster.partition_mut(part).skyline_mut().prune_to(now);
         // Start from the head while it fits.
         self.start_head_while_fits(part, now);
         let qlen = self.cluster.partition(part).waiting.len();
@@ -938,17 +996,45 @@ impl SimSession {
         }
         self.max_queue[part] = self.max_queue[part].max(qlen);
         // Nothing can start while zero units are free — neither the head
-        // nor any backfill candidate — so skip the (O(queue + running))
-        // backfill pass entirely. On saturated systems this short-circuits
-        // the majority of arrival events.
+        // nor any backfill candidate — so skip the backfill pass entirely.
+        // On saturated systems this short-circuits the majority of arrival
+        // events.
         if self.cluster.partition(part).free == 0 {
             return;
         }
+        if self.config.backfill == Backfill::None {
+            return;
+        }
+        // Jobs running past their walltime estimate have already had their
+        // skyline reservation expire, but they still hold units *right
+        // now*. Overlay them on `[now, now+1)` for the duration of this
+        // pass — exactly the `end_estimate.max(now + 1)` clamp the
+        // from-scratch rebuild applied. The running set is end-sorted, so
+        // the overrun jobs are a prefix.
+        let overrun: u64 = {
+            let p = self.cluster.partition(part);
+            p.running()
+                .iter()
+                .take_while(|r| r.end_estimate <= now)
+                .map(|r| r.procs)
+                .sum()
+        };
+        let p = self.cluster.partition_mut(part);
+        p.skyline_mut().reserve(now, now + 1, overrun);
+        debug_assert_eq!(
+            p.skyline().free_at(now),
+            p.free,
+            "skyline out of sync with unit accounting"
+        );
         match self.config.backfill {
-            Backfill::None => {}
+            Backfill::None => unreachable!("handled above"),
             Backfill::Easy => self.schedule_easy(part, now),
             Backfill::Conservative => self.schedule_conservative(part, now),
         }
+        self.cluster
+            .partition_mut(part)
+            .skyline_mut()
+            .unreserve(now, now + 1, overrun);
     }
 
     /// EASY backfilling with (possibly relaxed) head reservation.
@@ -957,19 +1043,17 @@ impl SimSession {
             let (head, shadow, extra) = {
                 let p = self.cluster.partition(part);
                 let head = p.waiting[0];
-                // The running set is end-sorted; clamping past estimates to
-                // now+1 only flattens the prefix, preserving the order.
-                let profile = CapacityProfile::from_sorted_running(
-                    now,
-                    p.capacity,
-                    p.running()
-                        .iter()
-                        .map(|r| (r.end_estimate.max(now + 1), r.procs)),
-                );
-                let shadow = profile
+                // The maintained skyline (pruned + overrun-overlaid by
+                // `schedule`) is monotone, so the shadow query is one
+                // binary search instead of an O(running) rebuild + scan.
+                let shadow = p
+                    .skyline()
                     .earliest_forever(now, self.procs_eff[head])
                     .expect("procs_eff ≤ partition capacity");
-                let extra = profile.free_at(shadow).saturating_sub(self.procs_eff[head]);
+                let extra = p
+                    .skyline()
+                    .free_at(shadow)
+                    .saturating_sub(self.procs_eff[head]);
                 (head, shadow, extra)
             };
             // The allowance is measured against the head's *original*
@@ -1038,18 +1122,13 @@ impl SimSession {
     /// Conservative backfilling: every queued job gets a planned slot in a
     /// shared capacity profile; whoever's slot is "now" starts.
     fn schedule_conservative(&mut self, part: usize, now: Timestamp) {
+        // Conservative carves per-candidate reservations that must not
+        // outlive this pass, so it clones the maintained skyline as its
+        // scratch profile — a memcpy of the breakpoint list, not an
+        // O(running) rebuild.
         let (mut profile, waiting) = {
             let p = self.cluster.partition(part);
-            (
-                CapacityProfile::from_sorted_running(
-                    now,
-                    p.capacity,
-                    p.running()
-                        .iter()
-                        .map(|r| (r.end_estimate.max(now + 1), r.procs)),
-                ),
-                p.waiting.clone(),
-            )
+            (p.skyline().clone(), p.waiting.clone())
         };
         let mut to_start = Vec::new();
         for &idx in &waiting {

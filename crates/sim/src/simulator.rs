@@ -55,6 +55,9 @@ pub struct SimResult {
     pub timeline: UtilizationTimeline,
     /// Largest waiting-queue length observed (summed over partitions).
     pub max_queue_len: usize,
+    /// Discrete events the engine processed (arrivals + completions) —
+    /// the denominator for events/sec throughput reporting.
+    pub events: u64,
 }
 
 /// Replays `trace` under `config`.

@@ -223,6 +223,90 @@ proptest! {
         }
     }
 
+    /// The tentpole invariant of the incremental-skyline refactor: after
+    /// an *arbitrary* interleaving of submits, time advances, and cancels,
+    /// every partition's incrementally maintained profile is
+    /// point-for-point identical to one rebuilt from scratch from the
+    /// running set — under every policy/backfill/relaxation combination.
+    #[test]
+    fn incremental_profile_matches_rebuild_over_random_op_sequences(
+        jobs in arb_jobs(50),
+        config in arb_config(),
+        seed in any::<u64>(),
+    ) {
+        let trace = Trace::new(tiny_system(50), jobs).unwrap();
+        let mut rng = TestRng::new(seed);
+        let mut session = SimSession::new(&trace.system, config);
+        session.assert_profiles_match_rebuild();
+        let mut submitted: Vec<u64> = Vec::new();
+        for job in trace.jobs() {
+            if rng.next_u64() % 3 == 0 {
+                let target = rng.next_u64() as i64 % (job.submit + 1);
+                session.advance_to(target.max(0));
+                session.assert_profiles_match_rebuild();
+            }
+            // Cancels exercise the mid-timeline reschedule path.
+            if rng.next_u64() % 5 == 0 {
+                if let Some(&victim) = submitted.get(rng.next_u64() as usize % submitted.len().max(1)) {
+                    session.cancel(victim);
+                    session.assert_profiles_match_rebuild();
+                }
+            }
+            let id = job.id;
+            session
+                .submit(job.clone())
+                .map_err(|e| TestCaseError::fail(format!("submit: {e}")))?;
+            submitted.push(id);
+            session.assert_profiles_match_rebuild();
+        }
+        session.advance_to_completion();
+        session.assert_profiles_match_rebuild();
+    }
+
+    /// The profile's incremental operations against a naive dense-array
+    /// model: any sequence of reserve/unreserve pairs leaves `free_at`,
+    /// `fits`, and `earliest_fit` agreeing with brute force everywhere.
+    #[test]
+    fn profile_ops_match_dense_model(
+        ops in prop::collection::vec((0i64..200, 1i64..60, 1u64..40), 1..20),
+        queries in prop::collection::vec((0i64..300, 1u64..120, 0i64..80), 1..20),
+    ) {
+        let capacity = 100u64;
+        let horizon = 400usize;
+        let mut p = CapacityProfile::new(0, capacity);
+        let mut dense = vec![capacity; horizon];
+        for (from, len, procs) in ops {
+            let to = from + len;
+            // Only apply reservations the dense model says fit (mirrors
+            // the scheduler, which checks before reserving).
+            let fits = dense[from as usize..to as usize].iter().all(|&f| f >= procs);
+            prop_assert_eq!(p.fits(from, to, procs), fits);
+            if fits {
+                p.reserve(from, to, procs);
+                for f in &mut dense[from as usize..to as usize] { *f -= procs; }
+                // Sometimes hand back a tail, like an early completion.
+                if len > 2 {
+                    let cut = from + len / 2;
+                    p.unreserve(cut, to, procs);
+                    for f in &mut dense[cut as usize..to as usize] { *f += procs; }
+                }
+            }
+        }
+        for (t, procs, dur) in queries {
+            prop_assert_eq!(p.free_at(t), dense[t as usize], "free_at({})", t);
+            // Brute-force earliest fit over the dense model.
+            let expect = (t..horizon as i64 - dur).find(|&s| {
+                dense[s as usize..(s + dur) as usize].iter().all(|&f| f >= procs)
+            });
+            let got = p.earliest_fit(t, procs, dur);
+            // The profile's last segment extends to infinity; the dense
+            // model stops at the horizon. Compare within the horizon.
+            if let Some(e) = expect {
+                prop_assert_eq!(got, Some(e));
+            }
+        }
+    }
+
     #[test]
     fn earliest_fit_result_actually_fits(
         ends in prop::collection::vec((1i64..500, 1u64..30), 0..10),

@@ -1,0 +1,233 @@
+//! Parallel iterator adapters over the work-stealing engine.
+//!
+//! The design is deliberately simpler than upstream rayon's
+//! producer/consumer splitting: the source is materialised into a task
+//! vector once, adapters are thin structs recording the pipeline, and a
+//! terminal call ([`ParallelIterator::collect`], [`ParallelIterator::sum`],
+//! …) hands the tasks to the pool's `run_tasks`. Because results are
+//! keyed by task index, every terminal operation is **deterministic**:
+//! the output is identical whatever the thread count.
+
+use crate::pool::run_tasks;
+
+/// An iterator whose element production can be distributed across the
+/// work-stealing pool.
+///
+/// Adapters (`map`, `filter`, `filter_map`) defer work; terminal methods
+/// (`collect`, `sum`, `for_each`, `count`) execute the pipeline in
+/// parallel and assemble results in input order.
+///
+/// ```
+/// use rayon::prelude::*;
+/// let evens_doubled: Vec<u32> = (0u32..10)
+///     .into_par_iter()
+///     .filter(|x| x % 2 == 0)
+///     .map(|x| x * 2)
+///     .collect();
+/// assert_eq!(evens_doubled, vec![0, 4, 8, 12, 16]);
+/// ```
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+
+    /// Executes the pipeline on the pool, returning all elements in
+    /// input order. Adapters build on this; user code normally calls
+    /// [`ParallelIterator::collect`] instead.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Applies `f` to every element in parallel.
+    fn map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keeps only elements for which `f` returns `true`.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, f }
+    }
+
+    /// Applies `f` in parallel and keeps the `Some` results.
+    fn filter_map<O, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> Option<O> + Sync + Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Runs the pipeline and collects the results in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+
+    /// Runs the pipeline and sums the results.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.drive().into_iter().sum()
+    }
+
+    /// Runs `f` on every element in parallel, discarding results.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _units: Vec<()> = self.map(f).drive();
+    }
+
+    /// Runs the pipeline and counts the surviving elements.
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+}
+
+/// Source stage: a materialised task vector. Produced by the entry-point
+/// traits in [`crate::prelude`].
+#[derive(Debug)]
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Parallel `map` stage; see [`ParallelIterator::map`].
+#[derive(Debug)]
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, O, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    O: Send,
+    F: Fn(B::Item) -> O + Sync + Send,
+{
+    type Item = O;
+
+    fn drive(self) -> Vec<O> {
+        run_tasks(self.base.drive(), self.f)
+    }
+}
+
+/// Parallel `filter` stage; see [`ParallelIterator::filter`].
+#[derive(Debug)]
+pub struct Filter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F> ParallelIterator for Filter<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(&B::Item) -> bool + Sync + Send,
+{
+    type Item = B::Item;
+
+    fn drive(self) -> Vec<B::Item> {
+        let f = self.f;
+        run_tasks(
+            self.base.drive(),
+            move |x| if f(&x) { Some(x) } else { None },
+        )
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// Parallel `filter_map` stage; see [`ParallelIterator::filter_map`].
+#[derive(Debug)]
+pub struct FilterMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, O, F> ParallelIterator for FilterMap<B, F>
+where
+    B: ParallelIterator,
+    O: Send,
+    F: Fn(B::Item) -> Option<O> + Sync + Send,
+{
+    type Item = O;
+
+    fn drive(self) -> Vec<O> {
+        run_tasks(self.base.drive(), self.f)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] by value.
+///
+/// Blanket-implemented for every `IntoIterator` with `Send` items, so
+/// vectors, ranges, maps, and options all work:
+///
+/// ```
+/// use rayon::prelude::*;
+/// let total: u64 = (0u64..100).into_par_iter().map(|x| x * x).sum();
+/// assert_eq!(total, 328_350);
+/// ```
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator over the pool.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    type Iter = ParIter<I::Item>;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `.par_iter()`: a parallel iterator over `&T` for slices (and
+/// everything that derefs or coerces to a slice — `Vec`, arrays).
+pub trait IntoParallelRefIterator<T: Sync> {
+    /// Returns a parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `.par_iter_mut()`: a parallel iterator over `&mut T` for slices.
+pub trait IntoParallelRefMutIterator<T: Send> {
+    /// Returns a parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+}
+
+impl<T: Send> IntoParallelRefMutIterator<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The work-stealing execution engine.
+//!
+//! [`run_tasks`] is the single entry point the iterator adapters drive:
+//! it materialises a task list, block-distributes the indices across
+//! per-worker deques, and spawns scoped worker threads that drain their
+//! own deque from the front and steal the *back half* of a victim's
+//! deque when they run dry. Results are written into index-addressed
+//! slots, so the output order is always the input order — identical at
+//! 1, 2, or 64 threads.
+//!
+//! Nested parallelism is handled the cheap way: a worker thread that
+//! re-enters the engine runs the inner task set sequentially. The outer
+//! fan-out already saturates the pool, so inner fan-outs would only add
+//! contention.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set inside worker threads so nested parallel calls degrade to
+    /// sequential execution instead of oversubscribing.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of threads parallel operations on this thread will use.
+///
+/// Resolution order: an enclosing [`ThreadPool::install`] scope, then the
+/// `RAYON_NUM_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`].
+///
+/// ```
+/// let pool = rayon::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+/// assert_eq!(pool.install(rayon::current_num_threads), 3);
+/// ```
+#[must_use]
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+///
+/// With more than one thread available (and outside a worker), `b` runs
+/// on a scoped helper thread while the caller runs `a`. A panic in
+/// either closure propagates to the caller.
+///
+/// ```
+/// let (a, b) = rayon::join(|| 2 + 2, || "ok");
+/// assert_eq!((a, b), (4, "ok"));
+/// ```
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 || IS_WORKER.with(Cell::get) {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| {
+            IS_WORKER.with(|c| c.set(true));
+            b()
+        });
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+        (ra, rb)
+    })
+}
+
+/// Applies `f` to every item on the work-stealing pool and returns the
+/// outputs **in input order**.
+///
+/// Sequential fast paths: zero/one item, a one-thread configuration, or
+/// a nested call from inside a worker.
+pub(crate) fn run_tasks<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n_items = items.len();
+    let threads = current_num_threads().min(n_items);
+    if threads <= 1 || IS_WORKER.with(Cell::get) {
+        return items.into_iter().map(f).collect();
+    }
+
+    // One slot per task: the input is taken exactly once, the output is
+    // written exactly once, both keyed by the task's index.
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+    let results: Vec<Mutex<Option<O>>> = (0..n_items).map(|_| Mutex::new(None)).collect();
+
+    // Block-distribute indices so workers start on disjoint cache-friendly
+    // ranges; stealing rebalances whatever the static split got wrong.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|w| {
+            let lo = w * n_items / threads;
+            let hi = (w + 1) * n_items / threads;
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for me in 0..threads {
+            let (deques, slots, results, f) = (&deques, &slots, &results, &f);
+            s.spawn(move || {
+                IS_WORKER.with(|c| c.set(true));
+                worker(me, deques, slots, results, f);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("worker panics propagate before collection")
+                .expect("every scheduled task ran")
+        })
+        .collect()
+}
+
+/// Worker loop: pop from our own deque, steal when empty, exit when the
+/// whole pool is dry.
+fn worker<I, O, F>(
+    me: usize,
+    deques: &[Mutex<VecDeque<usize>>],
+    slots: &[Mutex<Option<I>>],
+    results: &[Mutex<Option<O>>],
+    f: &F,
+) where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    loop {
+        let own = deques[me].lock().expect("deque lock").pop_front();
+        let idx = match own {
+            Some(i) => i,
+            None => match steal(me, deques) {
+                Some(i) => i,
+                None => return,
+            },
+        };
+        // Take the input *before* running `f` so no lock is held during
+        // user code (a panic there must not poison the slot).
+        let item = slots[idx]
+            .lock()
+            .expect("slot lock")
+            .take()
+            .expect("task scheduled exactly once");
+        let out = f(item);
+        *results[idx].lock().expect("result lock") = Some(out);
+    }
+}
+
+/// Scans victims round-robin from `me + 1`; takes the back half of the
+/// first non-empty deque (the owner keeps the front, which it is already
+/// working through), queues the surplus locally, and returns one index.
+fn steal(me: usize, deques: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+    let n = deques.len();
+    for off in 1..n {
+        let victim = (me + off) % n;
+        let mut stolen = {
+            let mut dq = deques[victim].lock().expect("deque lock");
+            let len = dq.len();
+            if len == 0 {
+                continue;
+            }
+            dq.split_off(len / 2)
+        };
+        let first = stolen.pop_front();
+        if !stolen.is_empty() {
+            deques[me].lock().expect("deque lock").extend(stolen);
+        }
+        if first.is_some() {
+            return first;
+        }
+    }
+    None
+}
+
+/// Error building a [`ThreadPool`]. The vendored pool cannot actually
+/// fail to build; the type exists for API compatibility with rayon.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] with an explicit thread count.
+///
+/// ```
+/// use rayon::prelude::*;
+/// let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+/// let squares: Vec<i32> = pool.install(|| (0..8).into_par_iter().map(|x| x * x).collect());
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (automatic) thread count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads; `0` means automatic.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in this vendored implementation.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle fixing the thread count for parallel operations run under
+/// [`ThreadPool::install`].
+///
+/// Unlike upstream rayon there are no persistent threads: workers are
+/// scoped to each parallel call, so a `ThreadPool` is just configuration
+/// and costs nothing while idle.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count in effect for every
+    /// parallel operation (and nested `install`s restore it on exit,
+    /// even on panic).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let over = if self.num_threads == 0 {
+            None
+        } else {
+            Some(self.num_threads)
+        };
+        let _restore = Restore(POOL_OVERRIDE.with(|c| c.replace(over)));
+        op()
+    }
+
+    /// The thread count parallel operations under this pool will use.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            self.install(current_num_threads)
+        } else {
+            self.num_threads
+        }
+    }
+}
