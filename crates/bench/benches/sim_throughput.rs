@@ -14,7 +14,9 @@
 //!   and exit non-zero on a regression beyond the tolerance.
 //! * `BENCH_SIM_TOLERANCE=0.20` — override the regression tolerance.
 //! * `BENCH_REQUIRE_SPEEDUP=2.0` — fail unless the parallel sweep hits
-//!   the given speedup (only enforced on hosts with ≥ 4 threads).
+//!   the given speedup. The check needs a host with ≥ 4 threads; when it
+//!   cannot run (fewer threads, sweep skipped, unparseable value) the
+//!   bench fails loudly instead of skipping the gate.
 //!
 //! See `docs/PERFORMANCE.md` for the full methodology.
 
@@ -173,17 +175,47 @@ fn main() {
             failed = true;
         }
     }
-    if let Some(required) = env_f64("BENCH_REQUIRE_SPEEDUP") {
-        match &report.sweep {
-            Some(s) if report.host_threads >= 4 && s.speedup < required => {
-                eprintln!(
-                    "  REGRESSION: sweep speedup {:.2}x below required {required:.2}x \
-                     on {} threads",
-                    s.speedup, s.threads
-                );
+    if let Ok(raw) = std::env::var("BENCH_REQUIRE_SPEEDUP") {
+        // Never let the gate pass vacuously: if the caller asked for a
+        // speedup check and it cannot run (bad value, no sweep, too few
+        // threads), that is a loud failure, not a silent skip — a CI
+        // host quietly downgraded to 2 cores must not turn the gate off.
+        match raw.parse::<f64>() {
+            Err(e) => {
+                eprintln!("  GATE ERROR: BENCH_REQUIRE_SPEEDUP={raw}: {e}");
                 failed = true;
             }
-            _ => {}
+            Ok(required) => match &report.sweep {
+                None => {
+                    eprintln!(
+                        "  GATE ERROR: BENCH_REQUIRE_SPEEDUP={required:.2} set but the \
+                         sweep was skipped (single-threaded host) — the check cannot run"
+                    );
+                    failed = true;
+                }
+                Some(_) if report.host_threads < 4 => {
+                    eprintln!(
+                        "  GATE ERROR: BENCH_REQUIRE_SPEEDUP={required:.2} set but the \
+                         host has only {} threads (need ≥ 4) — the check cannot run",
+                        report.host_threads
+                    );
+                    failed = true;
+                }
+                Some(s) if s.speedup < required => {
+                    eprintln!(
+                        "  REGRESSION: sweep speedup {:.2}x below required {required:.2}x \
+                         on {} threads",
+                        s.speedup, s.threads
+                    );
+                    failed = true;
+                }
+                Some(s) => {
+                    println!(
+                        "  gate: sweep speedup {:.2}x meets required {required:.2}x",
+                        s.speedup
+                    );
+                }
+            },
         }
     }
     if failed {

@@ -7,6 +7,7 @@
 //! lumos serve [--addr HOST:PORT] [--system NAME] [--policy P] [--backfill B]
 //!             [--queue-cap N] [--time-scale X] [--tenants FILE]
 //!             [--journal DIR] [--fsync always|never|interval:MS] [--snapshot-every N]
+//!             [--replicate-to ADDR | --follow ADDR]
 //! lumos journal inspect DIR [--verbose]
 //!
 //! Commands:
@@ -96,7 +97,8 @@ fn usage() -> String {
      [--seed N] [--days N] [--out DIR] [--swf FILE --system NAME]\n\
      \x20      lumos serve [--addr HOST:PORT] [--system NAME] [--policy P] [--backfill B] \
      [--queue-cap N] [--time-scale X] [--predictor last2[:MARGIN]|user[:MARGIN]|off] \
-     [--tenants FILE] [--journal DIR] [--fsync always|never|interval:MS] [--snapshot-every N]\n\
+     [--tenants FILE] [--journal DIR] [--fsync always|never|interval:MS] [--snapshot-every N] \
+     [--replicate-to ADDR | --follow ADDR]\n\
      \x20      lumos journal inspect DIR [--verbose]\n\
      \x20      lumos --help | --version"
         .to_string()
@@ -190,6 +192,8 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
                 config.tenants = Some(table);
             }
             "--journal" => journal_dir = Some(PathBuf::from(value("--journal")?)),
+            "--replicate-to" => config.replicate_to = Some(value("--replicate-to")?),
+            "--follow" => config.follow = Some(value("--follow")?),
             "--fsync" => {
                 fsync = Some(
                     lumos_serve::FsyncPolicy::parse(&value("--fsync")?)
@@ -211,6 +215,13 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
             }
         }
     }
+    if config.replicate_to.is_some() && config.follow.is_some() {
+        return Err(CliError::Usage(
+            "--replicate-to and --follow are mutually exclusive (a server is \
+             either the primary or the follower)"
+                .into(),
+        ));
+    }
     match journal_dir {
         Some(dir) => {
             let mut jc = lumos_serve::JournalConfig::new(dir);
@@ -225,6 +236,11 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
         None if fsync.is_some() || snapshot_every.is_some() => {
             return Err(CliError::Usage(
                 "--fsync and --snapshot-every require --journal DIR".into(),
+            ));
+        }
+        None if config.replicate_to.is_some() || config.follow.is_some() => {
+            return Err(CliError::Usage(
+                "--replicate-to and --follow require --journal DIR".into(),
             ));
         }
         None => {}

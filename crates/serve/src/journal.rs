@@ -287,6 +287,18 @@ pub fn read_segment(path: &Path) -> io::Result<SegmentRecords> {
 
 // ---- directory layout ----------------------------------------------------
 
+/// Fsyncs a directory so freshly created or renamed entries survive a
+/// machine crash. File data reaching stable storage says nothing about
+/// the *directory entry* pointing at the file — a crash right after
+/// rotation could otherwise lose the new segment even under
+/// `--fsync always`.
+///
+/// # Errors
+/// Propagates open/sync errors.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
 /// Path of segment `seq` in `dir`.
 #[must_use]
 pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
@@ -339,12 +351,16 @@ pub struct Journal {
     file: File,
     seq: u64,
     records_in_segment: u64,
+    segment_bytes: u64,
     last_sync: Instant,
 }
 
 impl Journal {
     /// Opens segment `seq` for appending (creating it if absent);
     /// `existing_records` is how many intact records it already holds.
+    /// Unless the fsync policy is [`FsyncPolicy::Never`], the journal
+    /// directory is fsynced so a just-created segment's directory entry
+    /// is as durable as its records.
     ///
     /// # Errors
     /// Propagates file-open errors.
@@ -358,11 +374,16 @@ impl Journal {
             .create(true)
             .append(true)
             .open(segment_path(&config.dir, seq))?;
+        let segment_bytes = file.metadata()?.len();
+        if config.fsync != FsyncPolicy::Never {
+            fsync_dir(&config.dir)?;
+        }
         Ok(Self {
             config,
             file,
             seq,
             records_in_segment: existing_records,
+            segment_bytes,
             last_sync: Instant::now(),
         })
     }
@@ -377,6 +398,13 @@ impl Journal {
     #[must_use]
     pub fn records_in_segment(&self) -> u64 {
         self.records_in_segment
+    }
+
+    /// Byte length of the active segment — with [`Journal::seq`], the
+    /// journal's replication position.
+    #[must_use]
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_bytes
     }
 
     /// The journal's configuration.
@@ -394,8 +422,31 @@ impl Journal {
     /// fatal (fail-stop), because an unjournaled mutation must never be
     /// acknowledged.
     pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
-        self.file.write_all(encode_record(record).as_bytes())?;
+        let line = encode_record(record);
+        self.file.write_all(line.as_bytes())?;
         self.records_in_segment += 1;
+        self.segment_bytes += line.len() as u64;
+        self.apply_fsync_policy()
+    }
+
+    /// Appends one already-framed line shipped from a replication
+    /// primary (`frame` carries no trailing newline), keeping this
+    /// journal a byte-for-byte mirror of the primary's. The caller has
+    /// verified the frame via [`decode_line`].
+    ///
+    /// # Errors
+    /// Propagates write/sync errors — fail-stop, exactly like
+    /// [`Journal::append`]: an unpersisted frame must never be
+    /// acknowledged back to the primary.
+    pub fn append_raw_line(&mut self, frame: &str) -> io::Result<()> {
+        self.file.write_all(frame.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.records_in_segment += 1;
+        self.segment_bytes += frame.len() as u64 + 1;
+        self.apply_fsync_policy()
+    }
+
+    fn apply_fsync_policy(&mut self) -> io::Result<()> {
         match self.config.fsync {
             FsyncPolicy::Always => self.file.sync_data()?,
             FsyncPolicy::Interval(ms) => {
@@ -426,6 +477,18 @@ impl Journal {
     /// Propagates I/O errors; on error the journal keeps appending to the
     /// current segment (rotation failure loses no data).
     pub fn rotate(&mut self, snapshot_json: &str, header: &JournalRecord) -> io::Result<()> {
+        self.rotate_without_header(snapshot_json)?;
+        self.append(header)
+    }
+
+    /// [`Journal::rotate`] for a replication follower: snapshot and open
+    /// the next segment, but do **not** append a `Config` header — the
+    /// primary's header arrives as the next shipped frame, and writing a
+    /// local one would break the byte-for-byte mirror.
+    ///
+    /// # Errors
+    /// Propagates I/O errors, like [`Journal::rotate`].
+    pub fn rotate_without_header(&mut self, snapshot_json: &str) -> io::Result<()> {
         let next = self.seq + 1;
         let tmp = self.config.dir.join(format!("snapshot-{next:06}.json.tmp"));
         {
@@ -440,10 +503,17 @@ impl Journal {
             .create_new(true)
             .append(true)
             .open(segment_path(&self.config.dir, next))?;
+        // The new segment's directory entry (and the snapshot's rename)
+        // must survive a crash too, or recovery would come up one
+        // rotation behind what was acknowledged.
+        if self.config.fsync != FsyncPolicy::Never {
+            fsync_dir(&self.config.dir)?;
+        }
         self.file = file;
         self.seq = next;
         self.records_in_segment = 0;
-        self.append(header)
+        self.segment_bytes = 0;
+        Ok(())
     }
 }
 

@@ -41,11 +41,13 @@ pub mod journal;
 pub mod metrics;
 pub mod protocol;
 pub mod recovery;
+pub mod replication;
 pub mod server;
 
 pub use journal::{FsyncPolicy, Journal, JournalConfig, JournalRecord};
 pub use lumos_predict::{Predictor, PredictorConfig};
 pub use metrics::{LiveMetrics, WAIT_PERCENTILES};
-pub use protocol::{PredictionStats, Request, Response, ServeStats, SubmitSpec};
-pub use recovery::{recover, Recovered, ServerSnapshot};
+pub use protocol::{PredictionStats, ReplicationStats, Request, Response, ServeStats, SubmitSpec};
+pub use recovery::{recover, recover_follower, Recovered, ServerSnapshot};
+pub use replication::{ReplLink, REPL_WINDOW};
 pub use server::{ServeConfig, Server};

@@ -23,7 +23,9 @@ use lumos_sim::{SimEvent, SimSession};
 use lumos_stats::{QuantileBank, Summary};
 use serde::{Deserialize, Serialize};
 
-use crate::protocol::{PredictionStats, ServeStats, TenantServeStats, TenantsStats};
+use crate::protocol::{
+    PredictionStats, ReplicationStats, ServeStats, TenantServeStats, TenantsStats,
+};
 
 /// The percentiles `stats` reports.
 pub const WAIT_PERCENTILES: [f64; 3] = [0.5, 0.9, 0.99];
@@ -143,13 +145,15 @@ impl LiveMetrics {
     /// The `stats` payload for the current session state.
     /// `extra_rejected` counts rejections recorded outside the scheduler
     /// loop (connection-side backpressure); `predictor` is the active
-    /// walltime predictor's display name, if one is enabled.
+    /// walltime predictor's display name, if one is enabled;
+    /// `replication` is the role/progress block on replicating servers.
     #[must_use]
     pub fn report(
         &self,
         session: &SimSession,
         extra_rejected: u64,
         predictor: Option<&str>,
+        replication: Option<ReplicationStats>,
     ) -> ServeStats {
         ServeStats {
             snapshot: session.snapshot(),
@@ -168,6 +172,7 @@ impl LiveMetrics {
                 mean_abs_error: self.pred_abs_err.mean(),
             },
             tenants: self.tenants_block(session),
+            replication,
         }
     }
 
@@ -226,7 +231,7 @@ mod tests {
         let events = session.drain_events();
         metrics.absorb(&events, &session);
 
-        let stats = metrics.report(&session, 0, None);
+        let stats = metrics.report(&session, 0, None, None);
         assert_eq!(stats.snapshot.finished, 2);
         // Job 1 waits 0, job 2 waits 50.
         assert!((stats.mean_wait - 25.0).abs() < 1e-9);
@@ -260,7 +265,7 @@ mod tests {
     fn assert_quantiles_close(waits: &[f64], bound: f64) {
         let metrics = absorb_waits(waits);
         let session = SimSession::new(&SystemSpec::theta(), SimConfig::default());
-        let stats = metrics.report(&session, 0, None);
+        let stats = metrics.report(&session, 0, None, None);
         for &(p, est) in &stats.wait_quantiles {
             let est = est.expect("stream is non-empty");
             let exact = lumos_stats::quantile(waits, p);
@@ -325,8 +330,8 @@ mod tests {
         let json = serde_json::to_string(&metrics).unwrap();
         let restored: LiveMetrics = serde_json::from_str(&json).unwrap();
         let session = SimSession::new(&SystemSpec::theta(), SimConfig::default());
-        let a = metrics.report(&session, 0, None);
-        let b = restored.report(&session, 0, None);
+        let a = metrics.report(&session, 0, None, None);
+        let b = restored.report(&session, 0, None, None);
         assert_eq!(a, b, "restored metrics report identically");
     }
 }

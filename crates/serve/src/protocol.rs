@@ -65,7 +65,30 @@ pub enum Request {
     /// Raw session counters.
     Snapshot,
     /// Graceful shutdown: drain all queued and running jobs, then stop.
+    /// On a follower this stops the process without draining (draining
+    /// would journal state the primary never had).
     Shutdown,
+    /// Replication handshake from a primary: the follower answers with
+    /// its journal position ([`Response::ReplPosition`]) so the stream
+    /// resumes from the last locally durable record.
+    ReplHello,
+    /// Replication stream marker: the primary finished shipping segment
+    /// `seq - 1` and every following [`Request::ReplRecord`] belongs to
+    /// segment `seq`. The follower rotates its own journal (writing its
+    /// own snapshot — byte-identical, because its state is) before
+    /// acknowledging.
+    #[allow(missing_docs)]
+    ReplSegment { seq: u64 },
+    /// One raw journal frame (`<len> <crc32> <json>`, no trailing
+    /// newline) shipped verbatim from the primary's segment file. The
+    /// follower verifies the checksum, appends the identical bytes to
+    /// its own journal, applies the record, and acknowledges with its
+    /// new position.
+    #[allow(missing_docs)]
+    ReplRecord { frame: String },
+    /// Promote a follower: seal its journal tail and start accepting
+    /// writes. Refused by a server that is already the primary.
+    Promote,
 }
 
 /// Live walltime-prediction accuracy over completed jobs: every finished
@@ -106,6 +129,28 @@ pub struct TenantsStats {
     pub tenants: Vec<TenantServeStats>,
 }
 
+/// The `stats` replication block.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ReplicationStats {
+    /// `"primary"` (shipping the journal) or `"follower"` (applying it).
+    pub role: String,
+    /// The peer address: the `--replicate-to` target on a primary, the
+    /// `--follow` primary on a follower.
+    pub peer: String,
+    /// Primary: the link to the follower is currently up. Follower: a
+    /// primary has completed the replication handshake since startup.
+    pub connected: bool,
+    /// Primary: segment of the last acknowledged frame. Follower: the
+    /// active journal segment.
+    pub seq: u64,
+    /// Primary: byte offset the follower last acknowledged within `seq`.
+    /// Follower: byte length of the active segment.
+    pub offset: u64,
+    /// Primary: frames acknowledged over the current link. Follower:
+    /// frames applied since startup.
+    pub records: u64,
+}
+
 /// Live metrics reported by `stats`.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ServeStats {
@@ -127,6 +172,11 @@ pub struct ServeStats {
     /// Per-tenant usage, waits, and fairness; `null` when the server
     /// runs without a tenant table.
     pub tenants: Option<TenantsStats>,
+    /// Replication state: `Some` on a replicating primary and on a
+    /// follower; `null` on servers that neither replicate nor follow
+    /// (including a promoted follower, which serves exactly like a
+    /// plain primary).
+    pub replication: Option<ReplicationStats>,
 }
 
 /// A server response.
@@ -173,6 +223,18 @@ pub enum Response {
     /// when at least one job ran.
     #[allow(missing_docs)]
     Bye { metrics: Option<SimMetrics> },
+    /// A follower's journal position, answering [`Request::ReplHello`]:
+    /// the next shipped frame must land at byte `offset` of segment
+    /// `seq`.
+    #[allow(missing_docs)]
+    ReplPosition { seq: u64, offset: u64 },
+    /// A follower's acknowledgment of one replicated frame or segment
+    /// marker: everything up to `(seq, offset)` is durable locally.
+    #[allow(missing_docs)]
+    ReplAck { seq: u64, offset: u64 },
+    /// The follower accepted promotion and now serves writes.
+    #[allow(missing_docs)]
+    Promoted { now: Timestamp },
     /// The request could not be handled (parse error, unknown id, ...).
     #[allow(missing_docs)]
     Error { message: String },
@@ -295,6 +357,27 @@ mod tests {
         assert_eq!(Request::parse(r#""Stats""#).unwrap(), Request::Stats);
         assert_eq!(Request::parse(r#""Shutdown""#).unwrap(), Request::Shutdown);
         assert_eq!(Request::Stats.to_line(), r#""Stats""#);
+    }
+
+    #[test]
+    fn replication_requests_round_trip() {
+        assert_eq!(
+            Request::parse(r#""ReplHello""#).unwrap(),
+            Request::ReplHello
+        );
+        assert_eq!(Request::parse(r#""Promote""#).unwrap(), Request::Promote);
+        let seg = Request::ReplSegment { seq: 3 };
+        assert_eq!(Request::parse(&seg.to_line()).unwrap(), seg);
+        // Frames carry quotes and backslashes; JSON string escaping must
+        // round-trip them byte-for-byte.
+        let frame = r#"21 0a1b2c3d {"Advance":{"to":42}}"#.to_string();
+        let rec = Request::ReplRecord {
+            frame: frame.clone(),
+        };
+        match Request::parse(&rec.to_line()).unwrap() {
+            Request::ReplRecord { frame: f } => assert_eq!(f, frame),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

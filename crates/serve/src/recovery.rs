@@ -81,6 +81,12 @@ pub struct Recovered {
     pub warnings: Vec<String>,
     /// Mutating records replayed (excluding `Config` headers).
     pub replayed: u64,
+    /// True when nothing was recovered (no snapshot loaded, no mutating
+    /// record replayed): the session still runs the CLI-provided
+    /// configuration and a journaled `Config` header may adopt a
+    /// different one. A replication follower continues this flag across
+    /// the frames it applies.
+    pub virgin: bool,
 }
 
 /// Recovers server state from `jc.dir`, creating a fresh journal when the
@@ -91,6 +97,21 @@ pub struct Recovered {
 /// Propagates filesystem errors (unreadable directory, failed truncate or
 /// rename, failed segment open).
 pub fn recover(serve: &ServeConfig, jc: &JournalConfig) -> io::Result<Recovered> {
+    recover_impl(serve, jc, false)
+}
+
+/// [`recover`] for a replication follower: identical, except an empty
+/// active segment is *not* given a `Config` header — the follower's
+/// journal must stay a byte-for-byte mirror of the primary's, whose
+/// header arrives over the replication stream.
+///
+/// # Errors
+/// Propagates filesystem errors, like [`recover`].
+pub fn recover_follower(serve: &ServeConfig, jc: &JournalConfig) -> io::Result<Recovered> {
+    recover_impl(serve, jc, true)
+}
+
+fn recover_impl(serve: &ServeConfig, jc: &JournalConfig, follower: bool) -> io::Result<Recovered> {
     std::fs::create_dir_all(&jc.dir)?;
     let (segments, snapshots) = journal::scan_dir(&jc.dir)?;
     let mut warnings = Vec::new();
@@ -185,20 +206,29 @@ pub fn recover(serve: &ServeConfig, jc: &JournalConfig) -> io::Result<Recovered>
     }
 
     // 4. Quarantine segments that can no longer be part of linear history.
+    let mut quarantined = false;
     for &seq in segments.iter().filter(|&&s| s > active_seq) {
         let from = journal::segment_path(&jc.dir, seq);
         let to = from.with_extension("log.orphaned");
         std::fs::rename(&from, &to)?;
+        quarantined = true;
         warnings.push(format!(
             "quarantined journal-{seq:06}.log as {}",
             to.display()
         ));
     }
+    if quarantined {
+        // The renames must be durable: a crash must not resurrect an
+        // orphaned segment under its original name, where a second
+        // recovery would replay it as linear history.
+        journal::fsync_dir(&jc.dir)?;
+    }
 
     // 5. Reopen the active segment for appending; a brand-new (or fully
-    //    truncated) segment gets its Config header.
+    //    truncated) segment gets its Config header — except on a
+    //    follower, whose journal mirrors the primary's bytes.
     let mut journal = Journal::open_segment(jc.clone(), active_seq, active_records)?;
-    if journal.records_in_segment() == 0 {
+    if journal.records_in_segment() == 0 && !follower {
         journal.append(&JournalRecord::Config {
             system: system.clone(),
             sim: *session.config(),
@@ -215,6 +245,7 @@ pub fn recover(serve: &ServeConfig, jc: &JournalConfig) -> io::Result<Recovered>
         journal,
         warnings,
         replayed,
+        virgin,
     })
 }
 
@@ -248,9 +279,11 @@ fn load_snapshot(
 
 /// Applies one journal record; returns 1 for a replayed mutation, 0 for a
 /// header. Inconsistencies are warned about and skipped — a damaged
-/// journal degrades recovery, it never aborts it.
+/// journal degrades recovery, it never aborts it. Also the follower-side
+/// apply path: a replication follower feeds every shipped frame through
+/// this function, so following *is* continuous recovery.
 #[allow(clippy::too_many_arguments)]
-fn apply(
+pub(crate) fn apply(
     record: JournalRecord,
     system: &mut SystemSpec,
     session: &mut SimSession,

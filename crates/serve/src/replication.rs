@@ -1,0 +1,409 @@
+//! Primary-side journal shipping: hot-standby replication.
+//!
+//! A replicating primary (`--replicate-to ADDR`) runs one **sender
+//! thread** that dials the follower's ordinary NDJSON listener and
+//! speaks the replication subset of the wire protocol
+//! ([`crate::protocol`]):
+//!
+//! 1. `"ReplHello"` → the follower answers with its journal position
+//!    (`ReplPosition {seq, offset}`), which the sender validates against
+//!    its own copy of that segment (the offset must land exactly on a
+//!    record boundary — anything else means the follower's history
+//!    diverged and replication stops rather than corrupt it).
+//! 2. The sender tails the journal *files* from that position, shipping
+//!    each complete framed line verbatim as `ReplRecord {frame}` and
+//!    each segment transition as `ReplSegment {seq}`. Shipping raw
+//!    frames (not re-encoded records) makes the follower's journal a
+//!    byte-for-byte mirror and lets the follower re-verify every CRC.
+//! 3. The follower acknowledges each message with its new durable
+//!    position (`ReplAck`). At most [`REPL_WINDOW`] messages are in
+//!    flight; a slow follower backpressures the sender, never the
+//!    primary's clients (replication is asynchronous — the primary
+//!    acknowledges clients after its *local* append, and `stats`
+//!    exposes the acked position so lag is observable).
+//!
+//! A dropped connection reconnects with backoff and re-handshakes, so
+//! the stream resumes from the last position the follower made durable.
+//! A *protocol* failure — the follower refuses a frame, was promoted, or
+//! reports a diverged position — is fatal: the sender stops permanently
+//! and the primary keeps serving unreplicated (loudly, on stderr).
+//!
+//! Reading the journal files (rather than an in-process channel) keeps
+//! the scheduler loop decoupled: the loop only bumps a notification
+//! epoch after each append, and the sender catches up from disk —
+//! which is also exactly what lets a late-joining follower receive
+//! segments written before it ever connected.
+
+use std::io::{self, BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use serde::Deserialize;
+
+use crate::journal::segment_path;
+use crate::protocol::Request;
+
+/// Messages (frames + segment markers) the sender keeps in flight before
+/// waiting for the follower to acknowledge.
+pub const REPL_WINDOW: u64 = 64;
+
+/// How the replies a follower may send deserialize on the primary side
+/// (a subset of [`crate::protocol::Response`]; anything else on the link
+/// is a protocol violation).
+#[derive(Debug, Deserialize)]
+enum ReplReply {
+    /// The follower's durable journal position.
+    #[allow(missing_docs)]
+    ReplPosition { seq: u64, offset: u64 },
+    /// One message acknowledged; durable through `(seq, offset)`.
+    #[allow(missing_docs)]
+    ReplAck { seq: u64, offset: u64 },
+    /// The follower refused: wrong role, bad frame, or local failure.
+    #[allow(missing_docs)]
+    Error { message: String },
+}
+
+/// Shared state between the scheduler loop and the sender thread.
+#[derive(Debug)]
+pub struct ReplLink {
+    /// The follower's address (the `--replicate-to` value).
+    pub target: String,
+    /// Bumped by the scheduler loop after every journal append or
+    /// rotation; the sender waits on it instead of polling hot.
+    epoch: Mutex<u64>,
+    cv: Condvar,
+    stop: AtomicBool,
+    connected: AtomicBool,
+    fatal: AtomicBool,
+    sent: AtomicU64,
+    acked: AtomicU64,
+    acked_seq: AtomicU64,
+    acked_offset: AtomicU64,
+}
+
+impl ReplLink {
+    /// A fresh, unconnected link towards `target`.
+    #[must_use]
+    pub fn new(target: String) -> Self {
+        Self {
+            target,
+            epoch: Mutex::new(0),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            connected: AtomicBool::new(false),
+            fatal: AtomicBool::new(false),
+            sent: AtomicU64::new(0),
+            acked: AtomicU64::new(0),
+            acked_seq: AtomicU64::new(0),
+            acked_offset: AtomicU64::new(0),
+        }
+    }
+
+    /// Wakes the sender: new journal bytes exist (or state changed).
+    pub fn notify(&self) {
+        let mut epoch = self.epoch.lock().expect("repl epoch lock");
+        *epoch += 1;
+        self.cv.notify_all();
+    }
+
+    /// Asks the sender thread to exit (server shutdown).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.notify();
+    }
+
+    /// Whether the link to the follower is currently established.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.connected.load(Ordering::SeqCst)
+    }
+
+    /// Segment of the follower's last acknowledged position.
+    #[must_use]
+    pub fn acked_seq(&self) -> u64 {
+        self.acked_seq.load(Ordering::SeqCst)
+    }
+
+    /// Byte offset of the follower's last acknowledged position.
+    #[must_use]
+    pub fn acked_offset(&self) -> u64 {
+        self.acked_offset.load(Ordering::SeqCst)
+    }
+
+    /// Messages acknowledged over the current connection.
+    #[must_use]
+    pub fn acked_count(&self) -> u64 {
+        self.acked.load(Ordering::SeqCst)
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    fn is_fatal(&self) -> bool {
+        self.fatal.load(Ordering::SeqCst)
+    }
+
+    fn set_fatal(&self, why: &str) {
+        self.fatal.store(true, Ordering::SeqCst);
+        eprintln!(
+            "lumos-serve: replication to {} stopped permanently: {why}",
+            self.target
+        );
+        self.notify();
+    }
+
+    fn record_ack(&self, seq: u64, offset: u64) {
+        self.acked_seq.store(seq, Ordering::SeqCst);
+        self.acked_offset.store(offset, Ordering::SeqCst);
+        self.acked.fetch_add(1, Ordering::SeqCst);
+        self.notify();
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.sent
+            .load(Ordering::SeqCst)
+            .saturating_sub(self.acked.load(Ordering::SeqCst))
+    }
+
+    /// Blocks until [`ReplLink::notify`] fires or `timeout` passes.
+    fn wait(&self, timeout: Duration) {
+        let epoch = self.epoch.lock().expect("repl epoch lock");
+        let before = *epoch;
+        let _ = self.cv.wait_timeout_while(epoch, timeout, |e| *e == before);
+    }
+}
+
+/// Spawns the sender thread for a primary journaling into `dir`.
+pub fn spawn_sender(dir: PathBuf, link: Arc<ReplLink>) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || sender_loop(&dir, &link))
+}
+
+fn sender_loop(dir: &Path, link: &ReplLink) {
+    let mut announced_wait = false;
+    while !link.stopped() && !link.is_fatal() {
+        match TcpStream::connect(&link.target) {
+            Ok(stream) => {
+                announced_wait = false;
+                eprintln!("lumos-serve: replicating to {}", link.target);
+                if let Err(e) = ship(dir, link, stream) {
+                    if !link.is_fatal() && !link.stopped() {
+                        eprintln!(
+                            "lumos-serve: replication link to {} lost: {e}; reconnecting",
+                            link.target
+                        );
+                    }
+                }
+                link.connected.store(false, Ordering::SeqCst);
+            }
+            Err(_) if !announced_wait => {
+                // Log once per outage, then retry quietly.
+                announced_wait = true;
+                eprintln!(
+                    "lumos-serve: waiting for follower at {} to accept connections",
+                    link.target
+                );
+            }
+            Err(_) => {}
+        }
+        if !link.stopped() && !link.is_fatal() {
+            std::thread::sleep(Duration::from_millis(300));
+        }
+    }
+}
+
+/// One connection's worth of streaming: handshake, then tail-and-ship
+/// until the link drops, a fatal protocol error, or server shutdown.
+fn ship(dir: &Path, link: &ReplLink, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut writer = io::BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+
+    // Handshake: where is the follower?
+    writeln!(writer, "{}", Request::ReplHello.to_line())?;
+    writer.flush()?;
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "follower closed during handshake",
+        ));
+    }
+    let (seq, offset) = match serde_json::from_str::<ReplReply>(line.trim()) {
+        Ok(ReplReply::ReplPosition { seq, offset }) => (seq, offset),
+        Ok(ReplReply::Error { message }) => {
+            link.set_fatal(&format!("follower refused the handshake: {message}"));
+            return Ok(());
+        }
+        Ok(other) => {
+            link.set_fatal(&format!("unexpected handshake reply: {other:?}"));
+            return Ok(());
+        }
+        Err(e) => {
+            link.set_fatal(&format!("unparseable handshake reply: {e}"));
+            return Ok(());
+        }
+    };
+    if let Err(why) = validate_position(dir, seq, offset) {
+        link.set_fatal(&why);
+        return Ok(());
+    }
+
+    // In-flight accounting restarts per connection (unacked messages of
+    // a previous link were implicitly resent by resuming at the
+    // follower's durable position).
+    link.sent.store(0, Ordering::SeqCst);
+    link.acked.store(0, Ordering::SeqCst);
+    link.acked_seq.store(seq, Ordering::SeqCst);
+    link.acked_offset.store(offset, Ordering::SeqCst);
+    link.connected.store(true, Ordering::SeqCst);
+
+    // Ack reader: drains the follower's replies concurrently so up to
+    // REPL_WINDOW messages ride the wire at once. Scoped, so it may
+    // borrow `link`; the socket shutdown below unblocks its final read
+    // and the scope joins it before returning.
+    let dead = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            ack_reader(&mut reader, link, &dead);
+        });
+        let result = stream_records(dir, link, &mut writer, &dead, seq, offset);
+        let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+        result
+    })
+}
+
+/// Reads follower replies until the link drops or a protocol error.
+fn ack_reader<R: BufRead>(reader: &mut R, link: &ReplLink, dead: &AtomicBool) {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => match serde_json::from_str::<ReplReply>(line.trim()) {
+                Ok(ReplReply::ReplAck { seq, offset }) => link.record_ack(seq, offset),
+                Ok(ReplReply::Error { message }) => {
+                    link.set_fatal(&format!("follower refused a frame: {message}"));
+                    break;
+                }
+                Ok(other) => {
+                    link.set_fatal(&format!("unexpected reply on the link: {other:?}"));
+                    break;
+                }
+                Err(e) => {
+                    link.set_fatal(&format!("unparseable reply on the link: {e}"));
+                    break;
+                }
+            },
+        }
+    }
+    dead.store(true, Ordering::SeqCst);
+    link.notify();
+}
+
+/// Tails the journal from `(seq, offset)`, shipping complete frames and
+/// segment transitions until the connection dies or the server stops.
+fn stream_records(
+    dir: &Path,
+    link: &ReplLink,
+    writer: &mut io::BufWriter<TcpStream>,
+    dead: &AtomicBool,
+    mut seq: u64,
+    offset: u64,
+) -> io::Result<()> {
+    let done = || link.stopped() || link.is_fatal() || dead.load(Ordering::SeqCst);
+    let mut file = std::fs::File::open(segment_path(dir, seq))?;
+    file.seek(SeekFrom::Start(offset))?;
+    // Bytes read from the file but not yet shipped: a read may end in the
+    // middle of a line the primary is still writing — only complete,
+    // newline-terminated frames go on the wire.
+    let mut carry: Vec<u8> = Vec::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    while !done() {
+        // Window: bounded in-flight messages, so a stalled follower
+        // pauses shipping instead of buffering the whole journal.
+        if link.in_flight() >= REPL_WINDOW {
+            link.wait(Duration::from_millis(100));
+            continue;
+        }
+        // Sampling the next segment's existence *before* reading matters:
+        // rotation creates segment N+1 only after the last append to N,
+        // so "N+1 existed, then N hit EOF" proves N is complete.
+        let next_exists = segment_path(dir, seq + 1).exists();
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            if carry.is_empty() && next_exists {
+                writeln!(
+                    writer,
+                    "{}",
+                    Request::ReplSegment { seq: seq + 1 }.to_line()
+                )?;
+                writer.flush()?;
+                link.sent.fetch_add(1, Ordering::SeqCst);
+                seq += 1;
+                file = std::fs::File::open(segment_path(dir, seq))?;
+                continue;
+            }
+            // Caught up: sleep until the scheduler appends again.
+            link.wait(Duration::from_millis(100));
+            continue;
+        }
+        carry.extend_from_slice(&buf[..n]);
+        let mut start = 0usize;
+        while let Some(nl) = carry[start..].iter().position(|&b| b == b'\n') {
+            while link.in_flight() >= REPL_WINDOW && !done() {
+                link.wait(Duration::from_millis(100));
+            }
+            if done() {
+                return Ok(());
+            }
+            let frame = String::from_utf8_lossy(&carry[start..start + nl]).into_owned();
+            writeln!(writer, "{}", Request::ReplRecord { frame }.to_line())?;
+            link.sent.fetch_add(1, Ordering::SeqCst);
+            start += nl + 1;
+        }
+        carry.drain(..start);
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Checks that `(seq, offset)` names a record boundary in this journal's
+/// copy of segment `seq` — the resume contract: the follower's next byte
+/// must be the first byte of a record the primary also has.
+fn validate_position(dir: &Path, seq: u64, offset: u64) -> Result<(), String> {
+    let path = segment_path(dir, seq);
+    let data = std::fs::read(&path).map_err(|e| {
+        format!(
+            "follower is at segment {seq} which this primary cannot read ({e}); \
+             refusing to replicate into diverged history"
+        )
+    })?;
+    if offset > data.len() as u64 {
+        return Err(format!(
+            "follower is ahead of this primary (segment {seq}: {offset} > {} bytes); \
+             refusing to replicate into diverged history",
+            data.len()
+        ));
+    }
+    let mut pos = 0u64;
+    while pos < offset {
+        match data[usize::try_from(pos).expect("offset fits usize")..]
+            .iter()
+            .position(|&b| b == b'\n')
+        {
+            Some(nl) => pos += nl as u64 + 1,
+            None => break,
+        }
+    }
+    if pos != offset {
+        return Err(format!(
+            "follower offset {offset} in segment {seq} is not a record boundary; \
+             refusing to replicate into diverged history"
+        ));
+    }
+    Ok(())
+}

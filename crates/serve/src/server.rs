@@ -37,10 +37,11 @@ use lumos_core::{CoreError, Job, JobStatus, SystemSpec, Timestamp};
 use lumos_predict::{OnlinePredictor, Predictor, PredictorConfig};
 use lumos_sim::{SimConfig, SimSession, TenantTable};
 
-use crate::journal::{JournalConfig, JournalRecord};
+use crate::journal::{decode_line, Journal, JournalConfig, JournalRecord};
 use crate::metrics::LiveMetrics;
-use crate::protocol::{Request, Response, SubmitSpec};
+use crate::protocol::{ReplicationStats, Request, Response, SubmitSpec};
 use crate::recovery::{self, Recovered};
+use crate::replication::{self, ReplLink};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -62,6 +63,13 @@ pub struct ServeConfig {
     /// Static tenant table (`--tenants FILE`); `None` serves one
     /// undifferentiated queue with no quotas or per-tenant accounting.
     pub tenants: Option<TenantTable>,
+    /// Stream the journal to a hot-standby follower at this address
+    /// (`--replicate-to`). Requires [`ServeConfig::journal`].
+    pub replicate_to: Option<String>,
+    /// Run as a read-only follower of the primary at this address
+    /// (`--follow`): apply replicated frames, refuse writes until
+    /// promoted. Requires [`ServeConfig::journal`].
+    pub follow: Option<String>,
 }
 
 impl ServeConfig {
@@ -77,6 +85,8 @@ impl ServeConfig {
             journal: None,
             predictor: None,
             tenants: None,
+            replicate_to: None,
+            follow: None,
         }
     }
 }
@@ -162,11 +172,23 @@ impl Server {
     /// Propagates socket errors from the initial setup.
     pub fn run(self, serve_stdin: bool) -> io::Result<()> {
         let addr = self.listener.local_addr()?;
+        if (self.config.replicate_to.is_some() || self.config.follow.is_some())
+            && self.config.journal.is_none()
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "replication requires a journal (--replicate-to / --follow need --journal DIR)",
+            ));
+        }
         // Recover (or initialize) journal state before accepting clients,
         // so the first command already sees the pre-crash session.
         let recovered = match &self.config.journal {
             Some(jc) => {
-                let r = recovery::recover(&self.config, jc)?;
+                let r = if self.config.follow.is_some() {
+                    recovery::recover_follower(&self.config, jc)?
+                } else {
+                    recovery::recover(&self.config, jc)?
+                };
                 for w in &r.warnings {
                     eprintln!("lumos-serve: recovery: {w}");
                 }
@@ -181,6 +203,20 @@ impl Server {
             }
             None => None,
         };
+        // A replicating primary ships its journal from a dedicated sender
+        // thread; the scheduler loop only nudges the link after appends.
+        let link = self.config.replicate_to.as_ref().map(|target| {
+            let dir = self
+                .config
+                .journal
+                .as_ref()
+                .expect("checked above: replication requires a journal")
+                .dir
+                .clone();
+            let link = Arc::new(ReplLink::new(target.clone()));
+            replication::spawn_sender(dir, Arc::clone(&link));
+            link
+        });
         let (tx, rx) = mpsc::sync_channel::<Envelope>(self.config.queue_capacity);
         let shared = Arc::new(Shared {
             commands: tx,
@@ -219,7 +255,10 @@ impl Server {
             });
         }
 
-        scheduler_loop(&self.config, &rx, &shared, recovered);
+        scheduler_loop(&self.config, &rx, &shared, recovered, link.as_ref());
+        if let Some(link) = &link {
+            link.stop();
+        }
 
         // The final reply is written by a connection thread; wait for that
         // flush, or the process could exit with the answer still queued.
@@ -237,14 +276,33 @@ impl Server {
     }
 }
 
+/// Which side of a replication pair this server currently is. A plain
+/// (non-replicating) server is a `Primary` with no link; a promoted
+/// follower becomes one too.
+enum Role {
+    Primary,
+    Follower {
+        /// Carried across applied frames so a journaled `Config` header
+        /// can adopt the primary's configuration (see
+        /// [`crate::recovery`]).
+        virgin: bool,
+        /// Frames applied since startup.
+        records: u64,
+        /// A primary has completed the replication handshake.
+        hello_seen: bool,
+    },
+}
+
 /// The single thread that owns the simulation.
 fn scheduler_loop(
     config: &ServeConfig,
     rx: &Receiver<Envelope>,
     shared: &Shared,
     recovered: Option<Recovered>,
+    link: Option<&Arc<ReplLink>>,
 ) {
-    let (system, mut session, mut metrics, mut predictor, mut journal) = match recovered {
+    let recovered_virgin = recovered.as_ref().is_none_or(|r| r.virgin);
+    let (mut system, mut session, mut metrics, mut predictor, mut journal) = match recovered {
         Some(r) => (r.system, r.session, r.metrics, r.predictor, Some(r.journal)),
         None => {
             let session = new_session(config);
@@ -260,19 +318,123 @@ fn scheduler_loop(
             )
         }
     };
+    let mut role = if config.follow.is_some() {
+        Role::Follower {
+            virgin: recovered_virgin,
+            records: 0,
+            hello_seen: false,
+        }
+    } else {
+        Role::Primary
+    };
     // Map wall-clock time onto simulation time *from where the session
     // already is*: a recovered session resumes at its pre-crash clock
     // instead of stalling until wall time catches up with it from zero.
-    let sim_epoch = session.now().max(0);
-    let epoch = Instant::now();
+    // (Mutable: promotion reseeds both, so the clock starts moving at
+    // the moment of promotion, not retroactively from follower startup.)
+    let mut sim_epoch = session.now().max(0);
+    let mut epoch = Instant::now();
 
     while let Ok(Envelope { req, reply }) = rx.recv() {
-        if config.time_scale > 0.0 {
+        // A follower's clock is the primary's clock: only applied frames
+        // move it, never local wall time.
+        if config.time_scale > 0.0 && matches!(role, Role::Primary) {
             let sim_now = sim_epoch
                 + (epoch.elapsed().as_secs_f64() * config.time_scale).floor() as Timestamp;
             session.advance_to(sim_now);
         }
+        // Promotion: flip the role in place — same session, same journal,
+        // same loop; only write admission and the wall clock change.
+        if matches!(req, Request::Promote) {
+            let response = match role {
+                Role::Primary => Response::Error {
+                    message: "already the primary; refusing promotion".into(),
+                },
+                Role::Follower { .. } => {
+                    // Seal the tail: an empty segment (nothing was ever
+                    // replicated) gets the Config header a primary's
+                    // segment always starts with.
+                    let sealed = journal.as_mut().map_or(Ok(()), |j| {
+                        if j.records_in_segment() == 0 {
+                            j.append(&JournalRecord::Config {
+                                system: system.clone(),
+                                sim: *session.config(),
+                                predictor: predictor.as_ref().map(Predictor::config),
+                                tenants: session.tenant_table().cloned(),
+                            })
+                        } else {
+                            Ok(())
+                        }
+                    });
+                    match sealed {
+                        Err(e) => {
+                            eprintln!("lumos-serve: promotion failed to seal the journal: {e}");
+                            Response::Error {
+                                message: format!("journal write failed ({e}); refusing promotion"),
+                            }
+                        }
+                        Ok(()) => {
+                            role = Role::Primary;
+                            sim_epoch = session.now().max(0);
+                            epoch = Instant::now();
+                            eprintln!("lumos-serve: promoted to primary at t = {}", session.now());
+                            Response::Promoted { now: session.now() }
+                        }
+                    }
+                }
+            };
+            let _ = reply.send(response);
+            continue;
+        }
+        // Replication frames from a primary.
+        if matches!(
+            req,
+            Request::ReplHello | Request::ReplSegment { .. } | Request::ReplRecord { .. }
+        ) {
+            let (response, fail_stop) = handle_repl(
+                req,
+                &mut role,
+                &mut system,
+                &mut session,
+                &mut metrics,
+                &mut predictor,
+                journal.as_mut(),
+                config,
+            );
+            let undeliverable = reply.send(response).is_err();
+            if fail_stop {
+                if undeliverable {
+                    shared.mark_terminal_flushed();
+                }
+                break;
+            }
+            continue;
+        }
+        // Everything else a follower may only read.
+        if matches!(role, Role::Follower { .. }) {
+            match req {
+                Request::Submit { .. } | Request::Cancel { .. } | Request::Advance { .. } => {
+                    let _ = reply.send(Response::Error {
+                        message: "this server is a read-only follower; promote it first".into(),
+                    });
+                    continue;
+                }
+                Request::Shutdown => {
+                    // Stop without draining: draining would journal an
+                    // advance the primary never had, forking the mirror.
+                    let undeliverable = reply.send(Response::Bye { metrics: None }).is_err();
+                    if undeliverable {
+                        shared.mark_terminal_flushed();
+                    }
+                    break;
+                }
+                _ => {}
+            }
+        }
         let shutdown = matches!(req, Request::Shutdown);
+        let repl_stats = matches!(req, Request::Stats)
+            .then(|| replication_stats(&role, link, config, journal.as_ref()))
+            .flatten();
         let (response, record) = handle(
             req,
             &mut session,
@@ -280,6 +442,7 @@ fn scheduler_loop(
             &mut predictor,
             config,
             shared,
+            repl_stats,
         );
         // Write-ahead: a mutation is durable before it is acknowledged.
         if let (Some(journal), Some(record)) = (journal.as_mut(), record.as_ref()) {
@@ -295,6 +458,9 @@ fn scheduler_loop(
                     shared.mark_terminal_flushed();
                 }
                 break;
+            }
+            if let Some(link) = link {
+                link.notify();
             }
         }
         let events = session.drain_events();
@@ -317,6 +483,8 @@ fn scheduler_loop(
                         // Not fatal: the old segment is intact, recovery
                         // just replays more.
                         eprintln!("lumos-serve: journal rotation failed: {e}; continuing");
+                    } else if let Some(link) = link {
+                        link.notify();
                     }
                 }
             }
@@ -337,6 +505,173 @@ fn scheduler_loop(
         let _ = reply.send(Response::Error {
             message: "server is shutting down".into(),
         });
+    }
+}
+
+/// Handles one replication-protocol request (`ReplHello`, `ReplSegment`,
+/// `ReplRecord`). Returns the response plus whether the server must
+/// fail-stop (a follower that cannot persist a frame must not continue).
+#[allow(clippy::too_many_arguments)]
+fn handle_repl(
+    req: Request,
+    role: &mut Role,
+    system: &mut SystemSpec,
+    session: &mut SimSession,
+    metrics: &mut LiveMetrics,
+    predictor: &mut Option<Predictor>,
+    journal: Option<&mut Journal>,
+    config: &ServeConfig,
+) -> (Response, bool) {
+    let Role::Follower {
+        virgin,
+        records,
+        hello_seen,
+    } = role
+    else {
+        return (
+            Response::Error {
+                message: "this server is not a follower (start it with --follow)".into(),
+            },
+            false,
+        );
+    };
+    let Some(journal) = journal else {
+        // Unreachable in practice: `--follow` requires a journal.
+        return (
+            Response::Error {
+                message: "follower has no journal".into(),
+            },
+            false,
+        );
+    };
+    match req {
+        Request::ReplHello => {
+            *hello_seen = true;
+            (
+                Response::ReplPosition {
+                    seq: journal.seq(),
+                    offset: journal.segment_bytes(),
+                },
+                false,
+            )
+        }
+        Request::ReplSegment { seq } => {
+            if seq != journal.seq() + 1 {
+                return (
+                    Response::Error {
+                        message: format!(
+                            "out-of-order segment marker {seq} (follower is at {})",
+                            journal.seq()
+                        ),
+                    },
+                    false,
+                );
+            }
+            // Rotate with a locally synthesized snapshot: the follower's
+            // state equals the primary's at this boundary, so the
+            // snapshot JSON is byte-identical to the primary's too.
+            let snap = recovery::snapshot_json(system, session, metrics, predictor.as_ref());
+            match journal.rotate_without_header(&snap) {
+                Ok(()) => (
+                    Response::ReplAck {
+                        seq: journal.seq(),
+                        offset: 0,
+                    },
+                    false,
+                ),
+                Err(e) => {
+                    eprintln!("lumos-serve: follower rotation failed: {e}; stopping");
+                    (
+                        Response::Error {
+                            message: format!("journal write failed ({e}); server stopping"),
+                        },
+                        true,
+                    )
+                }
+            }
+        }
+        Request::ReplRecord { frame } => {
+            // Re-verify the frame end to end before trusting it: the
+            // CRC travelled from the primary's disk over the wire.
+            let record = match decode_line(frame.as_bytes()) {
+                Ok(record) => record,
+                Err(e) => {
+                    return (
+                        Response::Error {
+                            message: format!("bad replicated frame: {e}"),
+                        },
+                        false,
+                    )
+                }
+            };
+            // Mirror first (append-before-ack, exactly like a primary),
+            // then apply through the recovery path.
+            if let Err(e) = journal.append_raw_line(&frame) {
+                eprintln!("lumos-serve: follower journal append failed: {e}; stopping");
+                return (
+                    Response::Error {
+                        message: format!("journal write failed ({e}); server stopping"),
+                    },
+                    true,
+                );
+            }
+            let mut warnings = Vec::new();
+            recovery::apply(
+                record,
+                system,
+                session,
+                metrics,
+                predictor,
+                config,
+                virgin,
+                &mut warnings,
+            );
+            for w in warnings {
+                eprintln!("lumos-serve: follower apply: {w}");
+            }
+            *records += 1;
+            (
+                Response::ReplAck {
+                    seq: journal.seq(),
+                    offset: journal.segment_bytes(),
+                },
+                false,
+            )
+        }
+        _ => unreachable!("scheduler_loop routes only replication requests here"),
+    }
+}
+
+/// The `stats` replication block for the current role: ack progress on a
+/// replicating primary, applied position on a follower, `None` on plain
+/// servers (and promoted followers, which serve exactly like one).
+fn replication_stats(
+    role: &Role,
+    link: Option<&Arc<ReplLink>>,
+    config: &ServeConfig,
+    journal: Option<&Journal>,
+) -> Option<ReplicationStats> {
+    match role {
+        Role::Primary => link.map(|link| ReplicationStats {
+            role: "primary".into(),
+            peer: link.target.clone(),
+            connected: link.is_connected(),
+            seq: link.acked_seq(),
+            offset: link.acked_offset(),
+            records: link.acked_count(),
+        }),
+        Role::Follower {
+            records,
+            hello_seen,
+            ..
+        } => Some(ReplicationStats {
+            role: "follower".into(),
+            peer: config.follow.clone().unwrap_or_default(),
+            connected: *hello_seen,
+            seq: journal.map_or(0, Journal::seq),
+            offset: journal.map_or(0, Journal::segment_bytes),
+            records: *records,
+        }),
     }
 }
 
@@ -368,6 +703,7 @@ fn handle(
     predictor: &mut Option<Predictor>,
     config: &ServeConfig,
     shared: &Shared,
+    repl_stats: Option<ReplicationStats>,
 ) -> (Response, Option<JournalRecord>) {
     match req {
         Request::Submit { job } => submit(job, session, metrics, predictor),
@@ -418,6 +754,7 @@ fn handle(
                     session,
                     shared.backpressure_rejects.load(Ordering::Relaxed),
                     predictor.as_ref().map(OnlinePredictor::name),
+                    repl_stats,
                 ),
             },
             None,
@@ -446,6 +783,16 @@ fn handle(
                 Some(record),
             )
         }
+        // Routed by `scheduler_loop` before reaching here.
+        Request::Promote
+        | Request::ReplHello
+        | Request::ReplSegment { .. }
+        | Request::ReplRecord { .. } => (
+            Response::Error {
+                message: "replication requests are handled by the scheduler".into(),
+            },
+            None,
+        ),
     }
 }
 

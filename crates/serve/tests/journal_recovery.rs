@@ -320,6 +320,122 @@ fn pre_tenancy_snapshots_still_restore() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The full durable path: append + rotate under `FsyncPolicy::Always`
+/// (which also fsyncs the journal *directory* on segment creation and
+/// rotation, so the files themselves survive a crash, not just their
+/// contents) and recover byte-identically from what is on disk.
+#[test]
+fn rotation_under_fsync_always_recovers_byte_identically() {
+    let system = tiny_system(100);
+    let sim = SimConfig::default();
+    let records = fixture_records(&system, sim);
+    let dir = fresh_dir("fsync-always");
+
+    let mut jc = JournalConfig::new(dir.clone());
+    jc.fsync = FsyncPolicy::Always;
+    jc.snapshot_every = 5;
+    let mut journal = Journal::open_segment(jc.clone(), 0, 0).expect("open");
+    let mut session = SimSession::new(&system, sim);
+    session.advance_to(0);
+    let mut metrics = LiveMetrics::new(sim.bsld_bound);
+    for record in &records {
+        journal.append(record).expect("append");
+        match record {
+            JournalRecord::Config { .. } => {}
+            JournalRecord::Submit { now, job } => {
+                session.advance_to(*now);
+                session.submit(job_of(job, session.now().max(0))).unwrap();
+                session.advance_to(session.now());
+            }
+            JournalRecord::Cancel { now, id } => {
+                session.advance_to(*now);
+                let _ = session.cancel(*id);
+            }
+            JournalRecord::Advance { to } => session.advance_to(*to),
+        }
+        let events = session.drain_events();
+        metrics.absorb(&events, &session);
+        if !matches!(record, JournalRecord::Config { .. }) && journal.wants_rotation() {
+            let snap = lumos_serve::recovery::snapshot_json(&system, &session, &metrics, None);
+            let header = JournalRecord::Config {
+                system: system.clone(),
+                sim,
+                predictor: None,
+                tenants: None,
+            };
+            journal.rotate(&snap, &header).expect("rotate");
+        }
+    }
+    let final_seq = journal.seq();
+    assert!(final_seq > 1, "rotation must have happened");
+    drop(journal);
+
+    // Every segment and snapshot the rotation chain created is on disk.
+    for seq in 0..=final_seq {
+        assert!(
+            segment_path(&dir, seq).exists(),
+            "segment {seq} of {final_seq} missing"
+        );
+        if seq > 0 {
+            assert!(
+                lumos_serve::journal::snapshot_path(&dir, seq).exists(),
+                "snapshot {seq} of {final_seq} missing"
+            );
+        }
+    }
+    let recovered = recover(&serve_config(&system, sim), &jc).expect("recover");
+    assert!(recovered.warnings.is_empty(), "{:?}", recovered.warnings);
+    assert_eq!(recovered.session.save_state(), session.save_state());
+    assert_eq!(
+        serde_json::to_string(&recovered.metrics).unwrap(),
+        serde_json::to_string(&metrics).unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A segment beyond a gap is quarantined (renamed `*.log.orphaned`, with
+/// the rename fsynced into the directory) and stays quarantined: a second
+/// recovery neither resurrects nor replays it.
+#[test]
+fn quarantined_segments_stay_orphaned_across_recoveries() {
+    let system = tiny_system(100);
+    let sim = SimConfig::default();
+    let records = fixture_records(&system, sim);
+    let dir = fresh_dir("quarantine");
+    write_segment(&dir, &records);
+    // A future segment with no predecessor: not linear history.
+    let stray = records[..2].iter().map(encode_record).collect::<String>();
+    std::fs::write(segment_path(&dir, 2), &stray).expect("write stray segment");
+
+    let jc = JournalConfig::new(dir.clone());
+    let recovered = recover(&serve_config(&system, sim), &jc).expect("recover");
+    assert!(
+        recovered.warnings.iter().any(|w| w.contains("quarantined")),
+        "{:?}",
+        recovered.warnings
+    );
+    let orphan = segment_path(&dir, 2).with_extension("log.orphaned");
+    assert!(orphan.exists(), "orphan file missing");
+    assert!(!segment_path(&dir, 2).exists(), "original name survived");
+    // The quarantined bytes still replay only the linear history.
+    let (expected_session, _) = replay_expected(&records, &system, sim);
+    assert_eq!(
+        recovered.session.save_state(),
+        expected_session.save_state()
+    );
+    drop(recovered);
+
+    let again = recover(&serve_config(&system, sim), &jc).expect("recover again");
+    assert!(
+        again.warnings.iter().all(|w| !w.contains("quarantined")),
+        "second recovery re-quarantined: {:?}",
+        again.warnings
+    );
+    assert!(orphan.exists(), "orphan vanished on second recovery");
+    assert_eq!(again.session.save_state(), expected_session.save_state());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Mutating (non-header) records among the first `n` fixture records.
 fn mutations_in_prefix(records: &[JournalRecord], n: usize) -> u64 {
     records[..n]

@@ -92,6 +92,15 @@ impl TenantTable {
             let weight: f64 = weight
                 .parse()
                 .map_err(|e| format!("line {}: weight: {e}", i + 1))?;
+            // Range-check here, not just in `validate`, so the error
+            // names the offending line: `parse` accepts `NaN`, `inf`,
+            // and negative zero without complaint.
+            if !weight.is_finite() || weight <= 0.0 {
+                return Err(format!(
+                    "line {}: weight for `{name}` must be finite and positive, got {weight}",
+                    i + 1
+                ));
+            }
             let quota = match fields.next() {
                 None | Some("-") => None,
                 Some(q) => Some(
@@ -99,6 +108,12 @@ impl TenantTable {
                         .map_err(|e| format!("line {}: quota: {e}", i + 1))?,
                 ),
             };
+            if quota == Some(0) {
+                return Err(format!(
+                    "line {}: quota for `{name}` must be at least 1 (use `-` for unlimited)",
+                    i + 1
+                ));
+            }
             if let Some(extra) = fields.next() {
                 return Err(format!(
                     "line {}: unexpected trailing field `{extra}`",
@@ -446,6 +461,23 @@ mod tests {
         assert!(
             TenantTable::parse("alice 1\nalice 2\n").is_err(),
             "duplicate name"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_weights_and_quotas_with_line_numbers() {
+        // `f64::parse` happily accepts all of these; the table must not.
+        for bad in ["NaN", "inf", "-inf", "-1", "0", "-0.0"] {
+            let err = TenantTable::parse(&format!("ok 1.0\nbob {bad}\n")).unwrap_err();
+            assert!(
+                err.starts_with("line 2:") && err.contains("bob"),
+                "weight {bad}: {err}"
+            );
+        }
+        let err = TenantTable::parse("ok 1.0\nok2 1.0 -\nbob 1.0 0\n").unwrap_err();
+        assert!(
+            err.starts_with("line 3:") && err.contains("bob"),
+            "zero quota: {err}"
         );
     }
 

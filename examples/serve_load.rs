@@ -118,6 +118,8 @@ fn two_tenant_stats(policy: Policy, opts: &Options) -> serde_json::Value {
         journal: None,
         predictor: None,
         tenants: Some(TenantTable::parse("heavy 1.0 -\nlight 1.0 -\n").expect("valid table")),
+        replicate_to: None,
+        follow: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind demo server");
     let addr = server.local_addr().expect("local addr").to_string();
@@ -239,6 +241,8 @@ fn main() {
                 journal: None,
                 predictor: None,
                 tenants: None,
+                replicate_to: None,
+                follow: None,
             };
             let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral server");
             let addr = server.local_addr().expect("local addr").to_string();

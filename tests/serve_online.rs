@@ -60,6 +60,8 @@ fn online_replay_matches_batch_simulate() {
         journal: None,
         predictor: None,
         tenants: None,
+        replicate_to: None,
+        follow: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr");
@@ -150,6 +152,8 @@ fn backpressure_rejects_instead_of_blocking() {
         journal: None,
         predictor: None,
         tenants: None,
+        replicate_to: None,
+        follow: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr");
@@ -188,6 +192,8 @@ fn protocol_errors_name_the_line_and_field() {
         journal: None,
         predictor: None,
         tenants: None,
+        replicate_to: None,
+        follow: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr");

@@ -163,6 +163,8 @@ fn reference_responses_with(
         journal: None,
         predictor,
         tenants: None,
+        replicate_to: None,
+        follow: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind reference");
     let addr = server.local_addr().expect("local addr").to_string();

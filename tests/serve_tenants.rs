@@ -81,6 +81,8 @@ fn bind_tenant_server(policy: Policy) -> (String, std::thread::JoinHandle<std::i
         journal: None,
         predictor: None,
         tenants: Some(TenantTable::parse(TENANTS).expect("valid table")),
+        replicate_to: None,
+        follow: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr").to_string();
@@ -366,6 +368,8 @@ fn reference_responses(commands: &[String]) -> Vec<String> {
         journal: None,
         predictor: None,
         tenants: Some(TenantTable::parse(TENANTS).expect("valid table")),
+        replicate_to: None,
+        follow: None,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind reference");
     let addr = server.local_addr().expect("local addr").to_string();
