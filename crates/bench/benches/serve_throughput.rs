@@ -1,0 +1,273 @@
+//! Serve fast-path throughput: acknowledged commands/second through a
+//! live loopback server under each fsync policy × group-commit size,
+//! with pipelined submissions — the matrix that shows what group-commit
+//! journaling buys under full durability.
+//!
+//! Like `sim_throughput` this harness measures wall-clock itself and can
+//! emit / gate against the machine-readable `BENCH_serve.json` report:
+//!
+//! * `BENCH_QUICK=1` — reduced configuration (fewer commands); what
+//!   CI's `bench-smoke` job runs.
+//! * `BENCH_SERVE_OUT=path` — write the report as JSON to `path`.
+//! * `BENCH_SERVE_BASELINE=path` — compare against a committed baseline
+//!   and exit non-zero on a regression beyond the tolerance.
+//! * `BENCH_SERVE_TOLERANCE=0.35` — override the regression tolerance.
+//! * `BENCH_SERVE_REQUIRE_SPEEDUP=3.0` — fail unless group commit beats
+//!   per-record commits by the given factor under `--fsync always`.
+//!
+//! See `docs/PERFORMANCE.md` for the full methodology.
+
+use lumos_bench::perf::{serve_cell_perf, ServeCellPerf, ServePerfReport, PERF_SCHEMA};
+use lumos_core::SystemSpec;
+use lumos_serve::{FsyncPolicy, JournalConfig, ServeConfig, Server};
+use lumos_sim::SimConfig;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Outstanding pipelined commands — well under the submission queue
+/// bound so no command is ever refused for backpressure mid-measurement.
+const WINDOW: usize = 256;
+
+/// The fsync-policy half of the measurement matrix. Wider-than-default
+/// regression tolerance: fsync timing on shared runners is far noisier
+/// than the in-process simulator replay.
+const DEFAULT_SERVE_TOLERANCE: f64 = 0.35;
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Resolves a `BENCH_SERVE_*` path relative to the workspace root (cargo
+/// runs benches with the package directory as cwd).
+fn resolve(path: &str) -> PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
+/// A fresh, unique journal directory under the system temp dir.
+fn journal_dir() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("lumos-serve-bench-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create journal dir");
+    dir
+}
+
+/// The benchmark command stream: pipelined single-unit submissions with a
+/// periodic `Advance` so completed jobs drain and the scheduler's active
+/// set stays small — the measurement isolates the journaling and reply
+/// path, not skyline growth.
+fn commands(n: usize) -> Vec<String> {
+    let mut cmds = Vec::with_capacity(n);
+    for i in 0..n {
+        if i % 64 == 63 {
+            cmds.push(format!(r#"{{"Advance":{{"to":{i}}}}}"#));
+        } else {
+            cmds.push(format!(
+                r#"{{"Submit":{{"job":{{"id":{i},"procs":1,"runtime":1}}}}}}"#
+            ));
+        }
+    }
+    cmds
+}
+
+/// One full measured run: bind a journaling server, pipeline `cmds` over
+/// loopback with a [`WINDOW`]-deep sliding window, and return (seconds
+/// from first submit to last ack, p99 ack latency in ms).
+fn run_cell(fsync: FsyncPolicy, group_commit: usize, cmds: &[String]) -> (f64, f64) {
+    let dir = journal_dir();
+    let mut journal = JournalConfig::new(dir.clone());
+    journal.fsync = fsync;
+    journal.snapshot_every = 0; // no rotation mid-measurement
+    let mut config = ServeConfig::new(SystemSpec::theta());
+    config.sim = SimConfig::default();
+    config.queue_capacity = 2 * WINDOW.max(512);
+    config.journal = Some(journal);
+    config.group_commit = group_commit;
+
+    let server = Server::bind("127.0.0.1:0", config).expect("bind bench server");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run(false));
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = BufWriter::new(stream);
+    let mut in_flight: VecDeque<Instant> = VecDeque::with_capacity(WINDOW);
+    let mut latencies: Vec<f64> = Vec::with_capacity(cmds.len());
+    let mut line = String::new();
+    let mut read_ack = |reader: &mut BufReader<TcpStream>, sent: Instant| {
+        line.clear();
+        reader.read_line(&mut line).expect("read ack");
+        assert!(!line.is_empty(), "server closed mid-measurement");
+        assert!(
+            !line.contains("Rejected") && !line.contains("Error"),
+            "refused command pollutes the measurement: {line}"
+        );
+        latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+    };
+
+    let start = Instant::now();
+    for cmd in cmds {
+        if in_flight.len() == WINDOW {
+            let sent = in_flight.pop_front().expect("window non-empty");
+            read_ack(&mut reader, sent);
+        }
+        writeln!(writer, "{cmd}").expect("write command");
+        writer.flush().expect("flush command");
+        in_flight.push_back(Instant::now());
+    }
+    while let Some(sent) = in_flight.pop_front() {
+        read_ack(&mut reader, sent);
+    }
+    let seconds = start.elapsed().as_secs_f64();
+
+    writeln!(writer, "\"Shutdown\"").expect("write shutdown");
+    writer.flush().expect("flush shutdown");
+    line.clear();
+    reader.read_line(&mut line).expect("read bye");
+    handle.join().expect("server thread").expect("server run");
+    std::fs::remove_dir_all(&dir).ok();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p99 = latencies[(latencies.len() * 99) / 100 - 1];
+    (seconds, p99)
+}
+
+/// Best-of-`samples` run of one cell (after one warmup run).
+fn measure_cell(
+    fsync: FsyncPolicy,
+    group_commit: usize,
+    cmds: &[String],
+    samples: u32,
+) -> ServeCellPerf {
+    run_cell(fsync, group_commit, cmds); // warmup: fault the binary in
+    let mut best_seconds = f64::INFINITY;
+    let mut best_p99 = f64::INFINITY;
+    for _ in 0..samples {
+        let (seconds, p99) = run_cell(fsync, group_commit, cmds);
+        if seconds < best_seconds {
+            best_seconds = seconds;
+            best_p99 = p99;
+        }
+    }
+    serve_cell_perf(
+        &fsync.to_string(),
+        group_commit,
+        cmds.len(),
+        best_seconds,
+        best_p99,
+    )
+}
+
+fn main() {
+    let quick = env_flag("BENCH_QUICK");
+    let (n, samples) = if quick { (2_000, 3) } else { (4_000, 3) };
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cmds = commands(n);
+    println!(
+        "\nserve_throughput workload: {n} pipelined commands over loopback, \
+         window {WINDOW}, best of {samples}, {host_threads} host thread(s){}",
+        if quick { ", quick profile" } else { "" },
+    );
+
+    let mut cells = Vec::new();
+    for fsync in [
+        FsyncPolicy::Always,
+        FsyncPolicy::Interval(5),
+        FsyncPolicy::Never,
+    ] {
+        for group_commit in [1, 64] {
+            let cell = measure_cell(fsync, group_commit, &cmds, samples);
+            println!(
+                "  {:<16} {:>9.0} cmds/sec  p99 ack {:>7.3} ms  ({:.3}s)",
+                cell.cell, cell.cmds_per_sec, cell.p99_ack_ms, cell.seconds
+            );
+            cells.push(cell);
+        }
+    }
+
+    let rate = |key: &str| {
+        cells
+            .iter()
+            .find(|c| c.cell == key)
+            .map_or(0.0, |c| c.cmds_per_sec)
+    };
+    let group_commit_speedup = rate("always/g64") / rate("always/g1").max(1e-9);
+    println!(
+        "  group commit   {group_commit_speedup:.2}x cmds/sec over per-record \
+         commits under fsync always"
+    );
+
+    let report = ServePerfReport {
+        schema: PERF_SCHEMA,
+        quick,
+        commands: n,
+        host_threads,
+        cells,
+        group_commit_speedup,
+    };
+
+    if let Ok(path) = std::env::var("BENCH_SERVE_OUT") {
+        std::fs::write(resolve(&path), report.to_json()).expect("write BENCH_SERVE_OUT");
+        println!("  report written to {path}");
+    }
+
+    let mut failed = false;
+    if let Ok(path) = std::env::var("BENCH_SERVE_BASELINE") {
+        let text = std::fs::read_to_string(resolve(&path)).expect("read BENCH_SERVE_BASELINE");
+        let baseline = ServePerfReport::from_json(&text).expect("parse baseline report");
+        let tolerance = env_f64("BENCH_SERVE_TOLERANCE").unwrap_or(DEFAULT_SERVE_TOLERANCE);
+        let findings = report.regressions(&baseline, tolerance);
+        if findings.is_empty() {
+            println!(
+                "  gate: no regression vs {path} (tolerance {:.0}%)",
+                tolerance * 100.0
+            );
+        } else {
+            for f in &findings {
+                eprintln!("  REGRESSION: {f}");
+            }
+            failed = true;
+        }
+    }
+    if let Ok(raw) = std::env::var("BENCH_SERVE_REQUIRE_SPEEDUP") {
+        // Mirrors BENCH_REQUIRE_SPEEDUP: an unusable value fails loudly
+        // rather than silently disabling the gate.
+        match raw.parse::<f64>() {
+            Err(e) => {
+                eprintln!("  GATE ERROR: BENCH_SERVE_REQUIRE_SPEEDUP={raw}: {e}");
+                failed = true;
+            }
+            Ok(required) if group_commit_speedup < required => {
+                eprintln!(
+                    "  REGRESSION: group-commit speedup {group_commit_speedup:.2}x \
+                     below required {required:.2}x under fsync always"
+                );
+                failed = true;
+            }
+            Ok(required) => {
+                println!(
+                    "  gate: group-commit speedup {group_commit_speedup:.2}x meets \
+                     required {required:.2}x"
+                );
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -155,6 +155,126 @@ impl PerfReport {
     }
 }
 
+/// Throughput of one serve-loop cell: one fsync policy × one group-commit
+/// size, measured over a loopback connection with pipelined submissions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeCellPerf {
+    /// Cell key: `"<fsync>/g<group>"`, e.g. `"always/g64"`.
+    pub cell: String,
+    /// Fsync policy name (`always` / `interval:MS` / `never`).
+    pub fsync: String,
+    /// Group-commit size the server ran with (1 = per-record commits).
+    pub group_commit: usize,
+    /// Commands acknowledged in the measured run.
+    pub commands: usize,
+    /// Best-of-N wall-clock seconds from first submit to last ack.
+    pub seconds: f64,
+    /// Acknowledged commands per second.
+    pub cmds_per_sec: f64,
+    /// 99th-percentile acknowledgment latency in milliseconds.
+    pub p99_ack_ms: f64,
+}
+
+/// One `BENCH_serve.json`: the serve fast-path throughput matrix plus the
+/// headline group-commit speedup under full durability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServePerfReport {
+    /// Schema version ([`PERF_SCHEMA`]).
+    pub schema: u32,
+    /// Whether this was the reduced (`BENCH_QUICK`) configuration.
+    pub quick: bool,
+    /// Commands per cell (identical across cells by construction).
+    pub commands: usize,
+    /// Hardware threads available on the measuring host.
+    pub host_threads: usize,
+    /// One measurement per fsync policy × group-commit size.
+    pub cells: Vec<ServeCellPerf>,
+    /// `always/g<N>` throughput over `always/g1` — what group commit buys
+    /// under full durability, the number this PR's gate cares about.
+    pub group_commit_speedup: f64,
+}
+
+impl ServePerfReport {
+    /// Serializes to pretty JSON (the `BENCH_serve.json` format).
+    ///
+    /// # Panics
+    /// Never — the report contains no unserializable values.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    /// Returns the underlying JSON error on malformed input.
+    pub fn from_json(text: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(text)
+    }
+
+    /// Compares this (current) report against a committed `baseline`,
+    /// mirroring [`PerfReport::regressions`]: one finding per cell whose
+    /// commands-per-second fell more than `tolerance` below the baseline
+    /// or that vanished, a configuration mismatch refuses to compare, and
+    /// ack latency is never gated (too noisy on shared runners).
+    #[must_use]
+    pub fn regressions(&self, baseline: &Self, tolerance: f64) -> Vec<String> {
+        let mut findings = Vec::new();
+        let ours = (self.schema, self.quick, self.commands);
+        let theirs = (baseline.schema, baseline.quick, baseline.commands);
+        if ours != theirs {
+            findings.push(format!(
+                "configuration mismatch: current (schema, quick, commands) = {ours:?} \
+                 but baseline = {theirs:?}; regenerate the baseline"
+            ));
+            return findings;
+        }
+        for base in &baseline.cells {
+            let Some(cur) = self.cells.iter().find(|c| c.cell == base.cell) else {
+                findings.push(format!(
+                    "cell `{}` present in baseline but missing from current report",
+                    base.cell
+                ));
+                continue;
+            };
+            let floor = base.cmds_per_sec * (1.0 - tolerance);
+            if cur.cmds_per_sec < floor {
+                findings.push(format!(
+                    "cell `{}` regressed: {:.0} cmds/sec vs baseline {:.0} \
+                     (floor {:.0} at {:.0}% tolerance)",
+                    base.cell,
+                    cur.cmds_per_sec,
+                    base.cmds_per_sec,
+                    floor,
+                    tolerance * 100.0
+                ));
+            }
+        }
+        findings
+    }
+}
+
+/// Builds a [`ServeCellPerf`] from a measured run.
+#[must_use]
+pub fn serve_cell_perf(
+    fsync: &str,
+    group_commit: usize,
+    commands: usize,
+    seconds: f64,
+    p99_ack_ms: f64,
+) -> ServeCellPerf {
+    let secs = seconds.max(1e-9);
+    ServeCellPerf {
+        cell: format!("{fsync}/g{group_commit}"),
+        fsync: fsync.to_string(),
+        group_commit,
+        commands,
+        seconds,
+        cmds_per_sec: commands as f64 / secs,
+        p99_ack_ms,
+    }
+}
+
 /// Builds a [`PolicyPerf`] from a measured replay.
 #[must_use]
 pub fn policy_perf(policy: &str, jobs: usize, events: u64, seconds: f64) -> PolicyPerf {
@@ -248,5 +368,60 @@ mod tests {
         let p = policy_perf("easy", 100, 200, 0.0);
         assert!(p.jobs_per_sec.is_finite());
         assert!(p.events_per_sec.is_finite());
+        let c = serve_cell_perf("always", 64, 100, 0.0, 0.0);
+        assert!(c.cmds_per_sec.is_finite());
+    }
+
+    fn serve_report(rates: &[(&str, usize, f64)]) -> ServePerfReport {
+        ServePerfReport {
+            schema: PERF_SCHEMA,
+            quick: true,
+            commands: 1000,
+            host_threads: 4,
+            cells: rates
+                .iter()
+                .map(|&(fsync, group, rate)| {
+                    serve_cell_perf(fsync, group, (rate * 2.0) as usize, 2.0, 0.5)
+                })
+                .collect(),
+            group_commit_speedup: 4.0,
+        }
+    }
+
+    #[test]
+    fn serve_json_round_trip_preserves_the_report() {
+        let r = serve_report(&[("always", 1, 400.0), ("always", 64, 4000.0)]);
+        let parsed = ServePerfReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn serve_cells_gate_on_throughput_but_not_latency() {
+        let base = serve_report(&[("always", 64, 4000.0), ("never", 64, 9000.0)]);
+        let mut cur = serve_report(&[("always", 64, 2500.0), ("never", 64, 9500.0)]);
+        for c in &mut cur.cells {
+            c.p99_ack_ms = 100.0; // latency regressions are not findings
+        }
+        let findings = cur.regressions(&base, 0.20);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("`always/g64`"), "{findings:?}");
+    }
+
+    #[test]
+    fn serve_missing_cell_and_config_mismatch_are_findings() {
+        let base = serve_report(&[("always", 1, 400.0)]);
+        let cur = serve_report(&[("never", 64, 9000.0)]);
+        let findings = cur.regressions(&base, 0.20);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("missing"), "{findings:?}");
+
+        let mut mismatched = serve_report(&[("always", 1, 400.0)]);
+        mismatched.commands = 9;
+        let findings = mismatched.regressions(&base, 0.20);
+        assert_eq!(findings.len(), 1);
+        assert!(
+            findings[0].contains("configuration mismatch"),
+            "{findings:?}"
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! lumos serve [--addr HOST:PORT] [--system NAME] [--policy P] [--backfill B]
 //!             [--queue-cap N] [--time-scale X] [--tenants FILE]
 //!             [--journal DIR] [--fsync always|never|interval:MS] [--snapshot-every N]
-//!             [--replicate-to ADDR | --follow ADDR]
+//!             [--group-commit N] [--replicate-to ADDR | --follow ADDR]
 //! lumos journal inspect DIR [--verbose]
 //!
 //! Commands:
@@ -98,7 +98,7 @@ fn usage() -> String {
      \x20      lumos serve [--addr HOST:PORT] [--system NAME] [--policy P] [--backfill B] \
      [--queue-cap N] [--time-scale X] [--predictor last2[:MARGIN]|user[:MARGIN]|off] \
      [--tenants FILE] [--journal DIR] [--fsync always|never|interval:MS] [--snapshot-every N] \
-     [--replicate-to ADDR | --follow ADDR]\n\
+     [--group-commit N] [--replicate-to ADDR | --follow ADDR]\n\
      \x20      lumos journal inspect DIR [--verbose]\n\
      \x20      lumos --help | --version"
         .to_string()
@@ -190,6 +190,11 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), CliError> {
                 let table = lumos_sim::TenantTable::parse(&text)
                     .map_err(|e| CliError::Usage(format!("--tenants: {}: {e}", path.display())))?;
                 config.tenants = Some(table);
+            }
+            "--group-commit" => {
+                config.group_commit = value("--group-commit")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("--group-commit: {e}")))?;
             }
             "--journal" => journal_dir = Some(PathBuf::from(value("--journal")?)),
             "--replicate-to" => config.replicate_to = Some(value("--replicate-to")?),

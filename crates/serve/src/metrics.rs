@@ -17,6 +17,13 @@
 //! journal instead. The estimator state serializes losslessly (f64 JSON
 //! round-trips are exact), so recovered servers continue the same
 //! estimate trajectory to the bit.
+//!
+//! This state is part of every rotation snapshot, which is why the
+//! group-commit scheduler ([`crate::server`]) absorbs events *per
+//! command* rather than per batch: a mid-batch `Stats` reader and a
+//! snapshot taken at a batch boundary must both see exactly the metrics
+//! a per-record server would have produced, and no batching counters
+//! live here where they would leak into snapshot bytes.
 
 use lumos_core::Duration;
 use lumos_sim::{SimEvent, SimSession};

@@ -283,7 +283,16 @@ impl Request {
     /// Serializes the request as one NDJSON line (no trailing newline).
     #[must_use]
     pub fn to_line(&self) -> String {
-        serde_json::to_string(self).expect("requests serialize")
+        let mut out = String::new();
+        self.to_line_into(&mut out);
+        out
+    }
+
+    /// [`Request::to_line`] appended onto a caller-provided buffer (no
+    /// trailing newline), so pipelined clients can serialize a stream of
+    /// requests without a fresh allocation per line.
+    pub fn to_line_into(&self, out: &mut String) {
+        serde_json::to_string_into(self, out);
     }
 }
 
@@ -291,7 +300,16 @@ impl Response {
     /// Serializes the response as one NDJSON line (no trailing newline).
     #[must_use]
     pub fn to_line(&self) -> String {
-        serde_json::to_string(self).expect("responses serialize")
+        let mut out = String::new();
+        self.to_line_into(&mut out);
+        out
+    }
+
+    /// [`Response::to_line`] appended onto a caller-provided buffer (no
+    /// trailing newline). The connection writer reuses one buffer across
+    /// every reply it coalesces into a single flush.
+    pub fn to_line_into(&self, out: &mut String) {
+        serde_json::to_string_into(self, out);
     }
 }
 

@@ -33,6 +33,13 @@
 //! epoch after each append, and the sender catches up from disk —
 //! which is also exactly what lets a late-joining follower receive
 //! segments written before it ever connected.
+//!
+//! Group-commit journaling (`--group-commit`, [`crate::server`]) is
+//! invisible here by construction: a batched append writes exactly the
+//! concatenation of the per-record frames and bumps the epoch once, so
+//! the tailer just finds several complete lines at its next read and
+//! ships them one `ReplRecord` each. The follower's mirror stays
+//! byte-for-byte identical whatever batch boundaries the primary used.
 
 use std::io::{self, BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::net::TcpStream;

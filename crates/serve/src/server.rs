@@ -25,6 +25,13 @@
 //! the journal to the pre-crash state (see [`crate::recovery`]). A failed
 //! journal append is fail-stop: the command is answered with an error and
 //! the server halts rather than acknowledge an unjournaled mutation.
+//!
+//! Throughput: the scheduler drains up to [`ServeConfig::group_commit`]
+//! queued commands per round and group-commits their journal records —
+//! one buffered write, one fsync, replies released only after the shared
+//! fsync — while connection writers coalesce every response of a round
+//! into a single flush. Neither batch changes any byte on disk or on the
+//! wire, only the syscall count; see `docs/PERFORMANCE.md`.
 
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -70,11 +77,21 @@ pub struct ServeConfig {
     /// (`--follow`): apply replicated frames, refuse writes until
     /// promoted. Requires [`ServeConfig::journal`].
     pub follow: Option<String>,
+    /// Group-commit window (`--group-commit N`): the scheduler drains up
+    /// to this many already-queued commands per round and journals their
+    /// records with one buffered write and **one** fsync, releasing every
+    /// reply only after that shared fsync. `0` or `1` disables batching
+    /// (one append + one fsync per record, the pre-group-commit
+    /// behaviour). Frame bytes are identical either way, so journals,
+    /// replication mirrors, and recovery cannot tell the difference; see
+    /// [`crate::journal::Journal::append_batch`].
+    pub group_commit: usize,
 }
 
 impl ServeConfig {
     /// Defaults: virtual time, queue of 1024 commands, no journal, no
-    /// predictor.
+    /// predictor, group commit of 64 (harmless when clients run in
+    /// lockstep — a batch is only as large as the queue backlog).
     #[must_use]
     pub fn new(system: SystemSpec) -> Self {
         Self {
@@ -87,6 +104,7 @@ impl ServeConfig {
             tenants: None,
             replicate_to: None,
             follow: None,
+            group_commit: 64,
         }
     }
 }
@@ -128,6 +146,21 @@ impl Shared {
         *self.terminal_flushed.lock().expect("terminal flag lock") = true;
         self.terminal_cv.notify_all();
     }
+}
+
+/// Whether this request must not share a group-commit round with plain
+/// commands: it either rewrites the loop's own state (promotion,
+/// replication frames) or ends the loop (shutdown), so it is handled
+/// alone, in arrival order.
+fn is_barrier(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Promote
+            | Request::ReplHello
+            | Request::ReplSegment { .. }
+            | Request::ReplRecord { .. }
+            | Request::Shutdown
+    )
 }
 
 /// Whether this response is the one that ends the scheduler loop, so its
@@ -245,13 +278,13 @@ impl Server {
             });
         }
 
-        // Stdin loop.
+        // Stdin loop. (`Stdin`/`Stdout` handles rather than their locks:
+        // the writer half of `serve_lines` runs on its own thread, and the
+        // lock guards are not `Send`.)
         if serve_stdin {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
-                let stdin = io::stdin();
-                let stdout = io::stdout();
-                let _ = serve_lines(stdin.lock(), stdout.lock(), &shared);
+                let _ = serve_lines(BufReader::new(io::stdin()), io::stdout(), &shared);
             });
         }
 
@@ -335,7 +368,124 @@ fn scheduler_loop(
     let mut sim_epoch = session.now().max(0);
     let mut epoch = Instant::now();
 
-    while let Ok(Envelope { req, reply }) = rx.recv() {
+    // Group commit: drain up to `group` already-queued commands per
+    // round, journal every record of the round with one buffered write
+    // and one fsync, and release the round's replies only after that
+    // shared fsync (append-before-ack holds for every member). Requests
+    // that change the loop's own state (promotion, replication frames,
+    // shutdown) are barriers: they end the drain and take the
+    // single-command path, as does everything on a follower.
+    let group = config.group_commit.max(1);
+    let mut carry: Option<Envelope> = None;
+    let mut batch: Vec<Envelope> = Vec::with_capacity(group);
+    let mut records: Vec<JournalRecord> = Vec::with_capacity(group);
+    let mut replies: Vec<(mpsc::Sender<Response>, Response, bool)> = Vec::with_capacity(group);
+
+    'serve: loop {
+        let Some(env) = carry.take().or_else(|| rx.recv().ok()) else {
+            break;
+        };
+        if group > 1 && matches!(role, Role::Primary) && !is_barrier(&env.req) {
+            batch.clear();
+            batch.push(env);
+            while batch.len() < group {
+                match rx.try_recv() {
+                    Ok(env) if is_barrier(&env.req) => {
+                        carry = Some(env);
+                        break;
+                    }
+                    Ok(env) => batch.push(env),
+                    Err(_) => break,
+                }
+            }
+            // One wall-clock advance covers the whole round: its commands
+            // were all queued by now, so they share an arrival instant.
+            if config.time_scale > 0.0 {
+                let sim_now = sim_epoch
+                    + (epoch.elapsed().as_secs_f64() * config.time_scale).floor() as Timestamp;
+                session.advance_to(sim_now);
+            }
+            records.clear();
+            replies.clear();
+            for Envelope { req, reply } in batch.drain(..) {
+                let repl_stats = matches!(req, Request::Stats)
+                    .then(|| replication_stats(&role, link, config, journal.as_ref()))
+                    .flatten();
+                let (response, record) = handle(
+                    req,
+                    &mut session,
+                    &mut metrics,
+                    &mut predictor,
+                    config,
+                    shared,
+                    repl_stats,
+                );
+                let journaled = record.is_some();
+                if let Some(record) = record {
+                    records.push(record);
+                }
+                let events = session.drain_events();
+                metrics.absorb(&events, &session);
+                replies.push((reply, response, journaled));
+            }
+            if !records.is_empty() {
+                if let Some(journal) = journal.as_mut() {
+                    if let Err(e) = journal.append_batch(&records) {
+                        // Fail-stop for the whole round: none of its
+                        // mutations is durable, so none may be
+                        // acknowledged. Reads still get their answers.
+                        eprintln!("lumos-serve: journal append failed: {e}; stopping");
+                        let mut delivered = false;
+                        for (reply, response, journaled) in replies.drain(..) {
+                            if journaled {
+                                let error = Response::Error {
+                                    message: format!("journal write failed ({e}); server stopping"),
+                                };
+                                if reply.send(error).is_ok() {
+                                    delivered = true;
+                                }
+                            } else {
+                                let _ = reply.send(response);
+                            }
+                        }
+                        if !delivered {
+                            shared.mark_terminal_flushed();
+                        }
+                        break 'serve;
+                    }
+                    if let Some(link) = link {
+                        link.notify();
+                    }
+                    // One rotation check per round: a segment may exceed
+                    // `snapshot_every` by at most `group - 1` records,
+                    // which recovery and replication are indifferent to.
+                    if journal.wants_rotation() {
+                        let snap = recovery::snapshot_json(
+                            &system,
+                            &session,
+                            &metrics,
+                            predictor.as_ref(),
+                        );
+                        let header = JournalRecord::Config {
+                            system: system.clone(),
+                            sim: *session.config(),
+                            predictor: predictor.as_ref().map(Predictor::config),
+                            tenants: session.tenant_table().cloned(),
+                        };
+                        if let Err(e) = journal.rotate(&snap, &header) {
+                            eprintln!("lumos-serve: journal rotation failed: {e}; continuing");
+                        } else if let Some(link) = link {
+                            link.notify();
+                        }
+                    }
+                }
+            }
+            for (reply, response, _) in replies.drain(..) {
+                let _ = reply.send(response);
+            }
+            continue;
+        }
+        let Envelope { req, reply } = env;
         // A follower's clock is the primary's clock: only applied frames
         // move it, never local wall time.
         if config.time_scale > 0.0 && matches!(role, Role::Primary) {
@@ -906,47 +1056,152 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     serve_lines(reader, writer, shared)
 }
 
-/// The request/response loop shared by TCP connections and stdin.
+/// One entry in a connection's in-order response stream: a locally
+/// produced response (parse error, backpressure rejection, shutdown
+/// refusal), or a marker that the scheduler owes the next response on the
+/// connection's shared reply channel. Both channels are FIFO, so pairing
+/// `Scheduled` slots with scheduler replies in order reproduces exactly
+/// the one-response-per-line, in-order wire contract.
+// The variants are deliberately lopsided: `Scheduled` (the hot path) is
+// zero-sized, and boxing the rare locally-produced `Ready` response would
+// put an allocation back on the error/rejection path for nothing.
+#[allow(clippy::large_enum_variant)]
+enum Slot {
+    Ready(Response),
+    Scheduled,
+}
+
+/// The request/response loop shared by TCP connections and stdin: a
+/// reader half (this thread) that parses lines from one recycled buffer
+/// and enqueues commands without waiting for their answers, and a writer
+/// half (scoped thread) that writes responses in request order,
+/// coalescing every response available in the same scheduler round into
+/// a single buffered write + flush. Pipelined clients therefore keep the
+/// scheduler's command queue full — which is what group commit batches —
+/// while lockstep clients see one immediate flush per request, exactly
+/// as before.
+///
 /// Physical lines (blank ones included) are counted so parse errors can
 /// name the offending line of the stream.
-fn serve_lines<R: BufRead, W: Write>(reader: R, mut writer: W, shared: &Shared) -> io::Result<()> {
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+fn serve_lines<R: BufRead, W: Write + Send>(
+    mut reader: R,
+    writer: W,
+    shared: &Shared,
+) -> io::Result<()> {
+    let (slot_tx, slot_rx) = mpsc::channel::<Slot>();
+    let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+    std::thread::scope(|scope| {
+        let writer_half = scope.spawn(move || write_replies(writer, &slot_rx, &reply_rx, shared));
+        let read = (|| {
+            let mut line = String::new();
+            let mut lineno = 0usize;
+            loop {
+                line.clear();
+                if reader.read_line(&mut line)? == 0 {
+                    break;
+                }
+                lineno += 1;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let slot = dispatch(&line, lineno, shared, &reply_tx);
+                if slot_tx.send(slot).is_err() {
+                    // The writer half died on a write error; responses
+                    // have nowhere to go, so stop reading too.
+                    break;
+                }
+            }
+            Ok(())
+        })();
+        // Close the slot stream so the writer drains what is left and
+        // exits; its result carries any write error.
+        drop(slot_tx);
+        drop(reply_tx);
+        let wrote = writer_half.join().unwrap_or(Ok(()));
+        read.and(wrote)
+    })
+}
+
+/// The writer half of [`serve_lines`]: resolves slots to responses in
+/// request order and batches flushes — everything already answered goes
+/// out in one write, and the stream is flushed before blocking on a
+/// response the scheduler has not produced yet (so a lockstep client is
+/// never kept waiting behind an empty buffer).
+fn write_replies<W: Write>(
+    mut writer: W,
+    slots: &Receiver<Slot>,
+    replies: &Receiver<Response>,
+    shared: &Shared,
+) -> io::Result<()> {
+    let closed = || Response::Error {
+        message: "server is shutting down".into(),
+    };
+    let mut buf = String::new();
+    while let Ok(first) = slots.recv() {
+        let mut pending = 0usize;
+        let mut next = Some(first);
+        while let Some(slot) = next {
+            let response = match slot {
+                Slot::Ready(response) => response,
+                Slot::Scheduled => match replies.try_recv() {
+                    Ok(response) => response,
+                    Err(_) => {
+                        // The scheduler has not answered this one yet:
+                        // release what is already buffered, then wait.
+                        if pending > 0 {
+                            writer.flush()?;
+                            pending = 0;
+                        }
+                        replies.recv().unwrap_or_else(|_| closed())
+                    }
+                },
+            };
+            buf.clear();
+            response.to_line_into(&mut buf);
+            buf.push('\n');
+            let terminal = is_terminal(&response);
+            let wrote = writer.write_all(buf.as_bytes());
+            if terminal {
+                // Written (or failed definitively): `run` may exit now.
+                let flushed = wrote.and_then(|()| writer.flush());
+                shared.mark_terminal_flushed();
+                flushed?;
+                pending = 0;
+            } else {
+                wrote?;
+                pending += 1;
+            }
+            next = slots.try_recv().ok();
         }
-        let response = dispatch(&line, idx + 1, shared);
-        let terminal = is_terminal(&response);
-        let wrote = writeln!(writer, "{}", response.to_line()).and_then(|()| writer.flush());
-        if terminal {
-            // Written (or failed definitively): `run` may exit now.
-            shared.mark_terminal_flushed();
+        if pending > 0 {
+            writer.flush()?;
         }
-        wrote?;
     }
     Ok(())
 }
 
-/// Parses one line, routes it through the bounded queue, and waits for
-/// the scheduler's answer. `lineno` is the 1-based physical line number
-/// within this client's stream, used to contextualize parse errors.
-fn dispatch(line: &str, lineno: usize, shared: &Shared) -> Response {
+/// Parses one line and routes it through the bounded queue, tagging the
+/// command with the connection's shared reply channel. Returns the
+/// response slot for the writer half: `Ready` when the answer is known
+/// right here (parse error, backpressure rejection, shutdown), otherwise
+/// `Scheduled`. `lineno` is the 1-based physical line number within this
+/// client's stream, used to contextualize parse errors.
+fn dispatch(line: &str, lineno: usize, shared: &Shared, reply: &mpsc::Sender<Response>) -> Slot {
     let req = match Request::parse(line) {
         Ok(req) => req,
         Err(message) => {
-            return Response::Error {
+            return Slot::Ready(Response::Error {
                 message: format!("line {lineno}: {message}"),
-            }
+            })
         }
     };
     let submit_id = match &req {
         Request::Submit { job } => Some(job.id),
         _ => None,
     };
-    let (reply_tx, reply_rx) = mpsc::channel();
     let envelope = Envelope {
         req,
-        reply: reply_tx,
+        reply: reply.clone(),
     };
     let closed = "server is shutting down";
     if let Some(id) = submit_id {
@@ -955,26 +1210,24 @@ fn dispatch(line: &str, lineno: usize, shared: &Shared) -> Response {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
                 shared.backpressure_rejects.fetch_add(1, Ordering::Relaxed);
-                return Response::Rejected {
+                return Slot::Ready(Response::Rejected {
                     id: Some(id),
                     reason: format!(
                         "submission queue full ({} commands queued); retry later",
                         shared.queue_capacity
                     ),
-                };
+                });
             }
             Err(TrySendError::Disconnected(_)) => {
-                return Response::Error {
+                return Slot::Ready(Response::Error {
                     message: closed.into(),
-                }
+                })
             }
         }
     } else if shared.commands.send(envelope).is_err() {
-        return Response::Error {
+        return Slot::Ready(Response::Error {
             message: closed.into(),
-        };
+        });
     }
-    reply_rx.recv().unwrap_or(Response::Error {
-        message: closed.into(),
-    })
+    Slot::Scheduled
 }

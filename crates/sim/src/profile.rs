@@ -50,9 +50,25 @@ use lumos_core::Timestamp;
 /// Piecewise-constant free-capacity timeline. `points[i] = (t_i, free_i)`
 /// means `free_i` units are free on `[t_i, t_{i+1})`; the last segment
 /// extends to infinity.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct CapacityProfile {
     points: Vec<(Timestamp, u64)>,
+}
+
+// Hand-written instead of derived so `clone_from` reuses the target's
+// breakpoint allocation: conservative backfill copy-assigns the live
+// skyline into one long-lived scratch profile every pass, and the derived
+// impl would discard and reallocate the scratch vector each time.
+impl Clone for CapacityProfile {
+    fn clone(&self) -> Self {
+        Self {
+            points: self.points.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.points.clone_from(&source.points);
+    }
 }
 
 impl CapacityProfile {

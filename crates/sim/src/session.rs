@@ -182,6 +182,11 @@ pub struct SimSession {
     clock: Timestamp,
     /// Scratch buffer: partitions touched by the current event.
     dirty: Vec<usize>,
+    /// Scratch profile for conservative backfill: each pass copy-assigns
+    /// the partition's maintained skyline into it and carves trial
+    /// reservations, reusing one breakpoint allocation across passes.
+    /// Not part of the saved state — it is dead between passes.
+    scratch_profile: CapacityProfile,
     /// Event log since the last `drain_events` (off for batch replay,
     /// where nobody drains and the log would only cost memory).
     pub(crate) record_events: bool,
@@ -226,6 +231,7 @@ impl SimSession {
             max_queue_total: 0,
             clock: Timestamp::MIN,
             dirty: Vec::new(),
+            scratch_profile: CapacityProfile::new(0, 0),
             record_events: true,
             allow_duplicate_ids: false,
             events: Vec::new(),
@@ -1123,13 +1129,16 @@ impl SimSession {
     /// shared capacity profile; whoever's slot is "now" starts.
     fn schedule_conservative(&mut self, part: usize, now: Timestamp) {
         // Conservative carves per-candidate reservations that must not
-        // outlive this pass, so it clones the maintained skyline as its
-        // scratch profile — a memcpy of the breakpoint list, not an
-        // O(running) rebuild.
-        let (mut profile, waiting) = {
+        // outlive this pass, so it copy-assigns the maintained skyline
+        // into the session's scratch profile — a memcpy into one
+        // long-lived breakpoint allocation, not a fresh clone (and not an
+        // O(running) rebuild).
+        let waiting = {
             let p = self.cluster.partition(part);
-            (p.skyline().clone(), p.waiting.clone())
+            self.scratch_profile.clone_from(p.skyline());
+            p.waiting.clone()
         };
+        let profile = &mut self.scratch_profile;
         let mut to_start = Vec::new();
         for &idx in &waiting {
             let procs = self.procs_eff[idx];

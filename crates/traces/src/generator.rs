@@ -167,7 +167,7 @@ impl Generator {
         let mut template = if rng.chance(p.off_template_prob) {
             fresh_template(rng)
         } else {
-            user.pick_template(rng).clone()
+            *user.pick_template(rng)
         };
         // Congestion adaptation reuses *real* templates rather than scaling
         // sizes/runtimes — users fall back to configurations they already
@@ -175,14 +175,14 @@ impl Generator {
         if rng.chance(p.queue_size_adapt * congestion) {
             // Fall back to the smallest configuration; on GPU systems that
             // frequently collapses to a single device.
-            template = user.smallest_template().clone();
+            template = *user.smallest_template();
             if rng.chance(0.7 * congestion) {
                 template.procs = 1;
             }
         } else if rng.chance(p.queue_runtime_adapt * congestion) {
             // DL users also shorten jobs when the system is busy (Fig. 10);
             // the HPC profiles set `queue_runtime_adapt ≈ 0`.
-            template = user.shortest_template().clone();
+            template = *user.shortest_template();
         }
         let procs = template.procs;
         let base_runtime = template.base_runtime;

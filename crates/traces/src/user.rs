@@ -7,6 +7,7 @@
 
 use lumos_core::UserId;
 use lumos_stats::Rng;
+use rayon::prelude::*;
 
 use crate::profile::SystemProfile;
 
@@ -19,7 +20,7 @@ use crate::profile::SystemProfile;
 /// early-failure point and kill stretch, which keeps failed reruns inside
 /// the same Fig. 8 resource-configuration group and gives the per-user
 /// violins of Fig. 11 their separated modes.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Template {
     /// Resource units the application always requests.
     pub procs: u64,
@@ -204,21 +205,24 @@ impl UserPool {
         let n = profile.n_users.max(1);
         let vcs = profile.spec.virtual_clusters;
         let block = n.div_ceil(usize::from(vcs.max(1)));
-        let mut users = Vec::with_capacity(n);
+        // Each user draws from an index-keyed fork of the pool rng, so users
+        // can be built in parallel on the shared thread pool (the same pool
+        // that runs the per-system sweep) while staying byte-identical to a
+        // sequential build at any thread count.
+        let rng = &*rng;
+        let users: Vec<UserModel> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let weight = 1.0 / ((i + 1) as f64).powf(profile.user_zipf);
+                let vc = (vcs > 1).then(|| ((i / block) as u16).min(vcs - 1));
+                let mut child = rng.fork(i as u64);
+                UserModel::build(i as UserId, weight, vc, profile, &mut child)
+            })
+            .collect();
         let mut cum_weights = Vec::with_capacity(n);
         let mut acc = 0.0;
-        for i in 0..n {
-            let weight = 1.0 / ((i + 1) as f64).powf(profile.user_zipf);
-            let vc = (vcs > 1).then(|| ((i / block) as u16).min(vcs - 1));
-            let mut child = rng.fork(i as u64);
-            users.push(UserModel::build(
-                i as UserId,
-                weight,
-                vc,
-                profile,
-                &mut child,
-            ));
-            acc += weight;
+        for u in &users {
+            acc += u.weight;
             cum_weights.push(acc);
         }
         Self { users, cum_weights }

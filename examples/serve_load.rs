@@ -20,8 +20,14 @@
 //! The generator targets *virtual-time* servers (`--time-scale 0`, the
 //! default): it stamps explicit submit times and drives the clock with
 //! `Advance` commands, so every run is deterministic for a given seed.
+//!
+//! `--firehose` drops the lockstep pacing: submissions are pipelined
+//! (up to 256 outstanding) the way the `serve_throughput` bench drives
+//! the server, and the sustained acknowledged-commands/sec rate is
+//! printed — handy for eyeballing group-commit throughput against a
+//! `--journal --fsync always` server.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
 use lumos_core::SystemSpec;
@@ -37,6 +43,8 @@ struct Options {
     mean_gap: f64,
     /// Run the two-tenant fairness demo instead of the plain load.
     two_tenant: bool,
+    /// Pipeline submissions with no pacing and report commands/sec.
+    firehose: bool,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -46,6 +54,7 @@ fn parse_options() -> Result<Options, String> {
         seed: 42,
         mean_gap: 30.0,
         two_tenant: false,
+        firehose: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -68,11 +77,15 @@ fn parse_options() -> Result<Options, String> {
                     .map_err(|e| format!("--mean-gap: {e}"))?;
             }
             "--two-tenant" => opts.two_tenant = true,
+            "--firehose" => opts.firehose = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
     if opts.two_tenant && opts.addr.is_some() {
         return Err("--two-tenant spawns its own servers; drop --addr".into());
+    }
+    if opts.two_tenant && opts.firehose {
+        return Err("--firehose is the plain-load mode; drop --two-tenant".into());
     }
     Ok(opts)
 }
@@ -120,6 +133,7 @@ fn two_tenant_stats(policy: Policy, opts: &Options) -> serde_json::Value {
         tenants: Some(TenantTable::parse("heavy 1.0 -\nlight 1.0 -\n").expect("valid table")),
         replicate_to: None,
         follow: None,
+        group_commit: 64,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind demo server");
     let addr = server.local_addr().expect("local addr").to_string();
@@ -170,6 +184,80 @@ fn two_tenant_stats(policy: Policy, opts: &Options) -> serde_json::Value {
         .clone()
 }
 
+/// The `--firehose` loop: the same workload as the paced mode, but every
+/// command is pipelined (up to [`FIREHOSE_WINDOW`] outstanding, well
+/// under the server's submission-queue bound) with no per-command
+/// lockstep, an `Advance` every 64 commands so completed jobs drain, and
+/// the sustained acknowledged rate printed at the end.
+fn firehose(opts: &Options, stream: TcpStream, reader: &mut BufReader<TcpStream>) {
+    const FIREHOSE_WINDOW: usize = 256;
+    let mut writer = BufWriter::new(stream);
+    let mut rng = Rng::new(opts.seed);
+    let mut clock: i64 = 0;
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+    let mut outstanding = 0usize;
+    let mut line = String::new();
+    let reap = |reader: &mut BufReader<TcpStream>, line: &mut String| {
+        line.clear();
+        reader.read_line(line).expect("read reply");
+        assert!(!line.is_empty(), "server closed mid-stream");
+        line.contains("Rejected")
+    };
+
+    let start = std::time::Instant::now();
+    let mut commands = 0u64;
+    for id in 0..opts.jobs {
+        if outstanding == FIREHOSE_WINDOW {
+            writer.flush().expect("flush before reap");
+            if reap(reader, &mut line) {
+                rejected += 1;
+            } else {
+                accepted += 1;
+            }
+            outstanding -= 1;
+        }
+        clock += 1;
+        let runtime = (60.0 * (0.8 * rng.next_gaussian()).exp() * 10.0).ceil() as i64;
+        let procs = 1u64 << rng.next_below(7);
+        writeln!(
+            writer,
+            r#"{{"Submit":{{"job":{{"id":{id},"procs":{procs},"runtime":{runtime},"submit":{clock}}}}}}}"#
+        )
+        .expect("write submit");
+        outstanding += 1;
+        commands += 1;
+        if (id + 1) % 64 == 0 {
+            writeln!(writer, r#"{{"Advance":{{"to":{clock}}}}}"#).expect("write advance");
+            outstanding += 1;
+            commands += 1;
+        }
+    }
+    writer.flush().expect("flush tail");
+    while outstanding > 0 {
+        if reap(reader, &mut line) {
+            rejected += 1;
+        } else {
+            accepted += 1;
+        }
+        outstanding -= 1;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+
+    println!(
+        "firehose: {commands} commands acknowledged in {seconds:.3}s — {:.0} cmds/sec \
+         ({accepted} accepted, {rejected} rejected)",
+        commands as f64 / seconds.max(1e-9),
+    );
+    let stats = roundtrip(&mut writer, reader, r#""Stats""#);
+    println!("final stats: {stats}");
+    if opts.addr.is_none() {
+        let bye = roundtrip(&mut writer, reader, r#""Shutdown""#);
+        println!("drained: {bye}");
+    } else {
+        println!("leaving the external server running (send \"Shutdown\" to stop it)");
+    }
+}
+
 /// The `--two-tenant` fairness demo: same skewed load, FIFO vs max-min.
 fn fairness_demo(opts: &Options) {
     println!(
@@ -218,7 +306,7 @@ fn main() {
             eprintln!("serve_load: {message}");
             eprintln!(
                 "usage: serve_load [--addr HOST:PORT] [--jobs N] [--seed S] [--mean-gap SECS] \
-                 [--two-tenant]"
+                 [--two-tenant] [--firehose]"
             );
             std::process::exit(2);
         }
@@ -243,6 +331,7 @@ fn main() {
                 tenants: None,
                 replicate_to: None,
                 follow: None,
+                group_commit: 64,
             };
             let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral server");
             let addr = server.local_addr().expect("local addr").to_string();
@@ -253,6 +342,14 @@ fn main() {
 
     let stream = TcpStream::connect(&addr).expect("connect to server");
     let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+
+    if opts.firehose {
+        firehose(&opts, stream, &mut reader);
+        if let Some(handle) = server_thread {
+            handle.join().expect("server thread").expect("server run");
+        }
+        return;
+    }
     let mut writer = stream;
 
     // Synthetic open-arrival workload: exponential gaps, heavy-tailed

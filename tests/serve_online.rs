@@ -62,6 +62,7 @@ fn online_replay_matches_batch_simulate() {
         tenants: None,
         replicate_to: None,
         follow: None,
+        group_commit: 64,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr");
@@ -154,6 +155,7 @@ fn backpressure_rejects_instead_of_blocking() {
         tenants: None,
         replicate_to: None,
         follow: None,
+        group_commit: 64,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr");
@@ -194,6 +196,7 @@ fn protocol_errors_name_the_line_and_field() {
         tenants: None,
         replicate_to: None,
         follow: None,
+        group_commit: 64,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr().expect("local addr");

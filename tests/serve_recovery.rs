@@ -165,6 +165,7 @@ fn reference_responses_with(
         tenants: None,
         replicate_to: None,
         follow: None,
+        group_commit: 64,
     };
     let server = Server::bind("127.0.0.1:0", config).expect("bind reference");
     let addr = server.local_addr().expect("local addr").to_string();
@@ -405,6 +406,85 @@ fn torn_tail_is_truncated_with_a_warning() {
     let (mut writer, mut reader) = connect(&again.addr);
     exchange(&mut writer, &mut reader, r#""Shutdown""#);
     again.child.wait().expect("reap");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn group_commit_kill_mid_batch_loses_no_acked_command() {
+    let dir = journal_dir("groupkill");
+    let flags = ["--group-commit", "8"];
+
+    let server = ServerProc::spawn(&dir, &flags);
+    let (mut writer, mut reader) = connect(&server.addr);
+
+    // Firehose: pipeline every submit without waiting for replies, so the
+    // scheduler drains multi-command batches and the SIGKILL lands with
+    // whole batches still in flight (including, with 8-command groups,
+    // inside a batch more often than not).
+    let total = 64u64;
+    for i in 0..total {
+        writeln!(
+            writer,
+            r#"{{"Submit":{{"job":{{"id":{i},"procs":1,"runtime":60,"submit":{i}}}}}}}"#,
+        )
+        .expect("pipeline submit");
+    }
+    writer.flush().expect("flush pipeline");
+
+    // Read a partial prefix of the acknowledgments, then SIGKILL with the
+    // rest of the stream still unanswered. Replies come back in request
+    // order, so reply k must acknowledge submit id k — a reply for a
+    // command the server never journaled would show up here as a hole.
+    let acked = 21u64;
+    for i in 0..acked {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read ack");
+        assert!(!line.is_empty(), "server closed early at ack {i}");
+        assert!(
+            line.contains("Submitted") && line.contains(&format!("\"id\":{i}")),
+            "ack {i} out of order or refused: {line}"
+        );
+    }
+    server.kill();
+
+    // Append-before-ack: everything the client saw acknowledged must
+    // survive the crash. A journaled-but-unacknowledged suffix is
+    // permitted (the WAL write precedes the ack), but it must be a
+    // *prefix* of the submission order — group commit may not reorder or
+    // punch holes in the stream.
+    let mut restarted = ServerProc::spawn(&dir, &flags);
+    restarted.read_recovery_lines();
+    let (mut writer, mut reader) = connect(&restarted.addr);
+    let mut known = 0u64;
+    let mut first_unknown = None;
+    for i in 0..total {
+        let reply = exchange(
+            &mut writer,
+            &mut reader,
+            &format!(r#"{{"Query":{{"id":{i}}}}}"#),
+        );
+        if reply.contains("unknown job id") {
+            first_unknown.get_or_insert(i);
+        } else {
+            assert!(
+                reply.contains("Job"),
+                "unexpected reply for job {i}: {reply}"
+            );
+            assert!(
+                first_unknown.is_none(),
+                "recovered jobs are not a prefix: {i} known after {first_unknown:?} unknown"
+            );
+            known += 1;
+        }
+    }
+    assert!(
+        known >= acked,
+        "acked commands lost: {acked} acknowledged, only {known} recovered"
+    );
+    let reply = exchange(&mut writer, &mut reader, r#""Shutdown""#);
+    assert!(reply.contains("Bye"), "unexpected {reply}");
+    restarted.child.wait().expect("reap");
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -24,6 +24,12 @@ pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
     Ok(out)
 }
 
+/// Serializes `value` as compact JSON appended onto `out`, reusing the
+/// caller's buffer instead of allocating a fresh `String` per call.
+pub fn to_string_into<T: serde::Serialize + ?Sized>(value: &T, out: &mut String) {
+    write_value(out, &value.to_value(), None, 0);
+}
+
 /// Serializes `value` as 2-space-indented JSON.
 ///
 /// # Errors
